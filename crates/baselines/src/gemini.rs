@@ -1,0 +1,315 @@
+//! The Gemini baseline (Xu et al., CCS'17): a structure2vec graph
+//! embedding network over ACFGs, trained as a Siamese network with cosine
+//! similarity — reimplemented on `asteria-nn`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use asteria_nn::{Adam, Graph, NodeId, Optimizer, ParamId, ParamStore, Tensor};
+
+use crate::acfg::{Acfg, ACFG_FEATURES};
+
+/// Gemini hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GeminiConfig {
+    /// Embedding dimension p (64, as in the Gemini paper).
+    pub embed_dim: usize,
+    /// Message-passing iterations T.
+    pub iterations: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for GeminiConfig {
+    fn default() -> Self {
+        GeminiConfig {
+            embed_dim: 64,
+            iterations: 3,
+            seed: 0x6E311,
+            learning_rate: 0.01,
+        }
+    }
+}
+
+/// The Gemini model.
+pub struct GeminiModel {
+    config: GeminiConfig,
+    store: ParamStore,
+    w1: ParamId,
+    p1: ParamId,
+    p2: ParamId,
+    w2: ParamId,
+    optimizer: Adam,
+}
+
+impl std::fmt::Debug for GeminiModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GeminiModel(p={}, T={})",
+            self.config.embed_dim, self.config.iterations
+        )
+    }
+}
+
+impl GeminiModel {
+    /// Builds a model with fresh weights.
+    pub fn new(config: GeminiConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let p = config.embed_dim;
+        let w1 = store.add("gemini.w1", Tensor::xavier(p, ACFG_FEATURES, &mut rng));
+        let p1 = store.add("gemini.p1", Tensor::xavier(p, p, &mut rng));
+        let p2 = store.add("gemini.p2", Tensor::xavier(p, p, &mut rng));
+        let w2 = store.add("gemini.w2", Tensor::xavier(p, p, &mut rng));
+        let optimizer = Adam::new(config.learning_rate);
+        GeminiModel {
+            config,
+            store,
+            w1,
+            p1,
+            p2,
+            w2,
+            optimizer,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeminiConfig {
+        &self.config
+    }
+
+    /// Builds the graph-embedding computation on the tape, returning the
+    /// embedding node.
+    fn embed_on(&self, g: &mut Graph, acfg: &Acfg) -> NodeId {
+        let p = self.config.embed_dim;
+        let w1 = g.param(&self.store, self.w1);
+        let p1 = g.param(&self.store, self.p1);
+        let p2 = g.param(&self.store, self.p2);
+        let w2 = g.param(&self.store, self.w2);
+        let neighbors = acfg.neighbors();
+        // Per-node transformed features (computed once).
+        let wx: Vec<NodeId> = acfg
+            .features
+            .iter()
+            .map(|f| {
+                let x = g.input(Tensor::column(&f.map(|v| v as f32)));
+                g.matvec(w1, x)
+            })
+            .collect();
+        let zero = g.input(Tensor::zeros(p, 1));
+        let mut mu: Vec<NodeId> = vec![zero; acfg.len()];
+        for _ in 0..self.config.iterations {
+            let mut next = Vec::with_capacity(acfg.len());
+            for v in 0..acfg.len() {
+                let agg = if neighbors[v].is_empty() {
+                    zero
+                } else {
+                    let terms: Vec<NodeId> = neighbors[v].iter().map(|u| mu[*u]).collect();
+                    g.sum(&terms)
+                };
+                // Two-layer relu MLP σ(·), as in the Gemini paper.
+                let l1 = g.matvec(p1, agg);
+                let l1 = g.relu(l1);
+                let l2 = g.matvec(p2, l1);
+                let l2 = g.relu(l2);
+                let s = g.add(wx[v], l2);
+                next.push(g.tanh(s));
+            }
+            mu = next;
+        }
+        let total = g.sum(&mu);
+        g.matvec(w2, total)
+    }
+
+    /// Embeds an ACFG into a vector (the offline phase).
+    pub fn embed(&self, acfg: &Acfg) -> Vec<f32> {
+        let mut g = Graph::new();
+        let e = self.embed_on(&mut g, acfg);
+        g.value(e).as_slice().to_vec()
+    }
+
+    /// Cosine similarity of two ACFGs (full forward pass).
+    pub fn similarity(&self, a: &Acfg, b: &Acfg) -> f32 {
+        let mut g = Graph::new();
+        let ea = self.embed_on(&mut g, a);
+        let eb = self.embed_on(&mut g, b);
+        let cos = g.cosine(ea, eb);
+        g.value(cos).item()
+    }
+
+    /// Online-phase similarity from cached embeddings: plain cosine,
+    /// mapped to `[0, 1]` for ROC comparability.
+    pub fn similarity_from_embeddings(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let cos = dot / (na * nb).max(1e-7);
+        0.5 * (cos + 1.0)
+    }
+
+    /// One Siamese training step toward cosine ±1; returns the loss.
+    pub fn train_pair(&mut self, a: &Acfg, b: &Acfg, homologous: bool) -> f32 {
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let ea = self.embed_on(&mut g, a);
+        let eb = self.embed_on(&mut g, b);
+        let cos = g.cosine(ea, eb);
+        let target = Tensor::scalar(if homologous { 1.0 } else { -1.0 });
+        let loss = g.mse_loss(cos, target);
+        let lv = g.value(loss).item();
+        g.backward(loss, &mut self.store);
+        self.store.clip_grad_norm(5.0);
+        self.optimizer.step(&mut self.store);
+        lv
+    }
+
+    /// One epoch over shuffled labelled pairs; returns the mean loss.
+    pub fn train_epoch(&mut self, pairs: &[(Acfg, Acfg, bool)], rng: &mut StdRng) -> f32 {
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0f64;
+        for i in order {
+            let (a, b, label) = &pairs[i];
+            total += self.train_pair(a, b, *label) as f64;
+        }
+        (total / pairs.len().max(1) as f64) as f32
+    }
+}
+
+/// Trains for `epochs` epochs with the model's optimizer, keeping the
+/// best-validation weights when a validator is supplied.
+pub fn train_gemini(
+    model: &mut GeminiModel,
+    pairs: &[(Acfg, Acfg, bool)],
+    epochs: usize,
+    seed: u64,
+    mut validate: Option<&mut dyn FnMut(&GeminiModel) -> f64>,
+) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut losses = Vec::with_capacity(epochs);
+    let mut best = f64::NEG_INFINITY;
+    let mut best_weights: Option<Vec<u8>> = None;
+    for _ in 0..epochs {
+        losses.push(model.train_epoch(pairs, &mut rng));
+        if let Some(v) = validate.as_deref_mut() {
+            let score = v(model);
+            if score > best {
+                best = score;
+                let mut buf = Vec::new();
+                model.store.save(&mut buf).expect("in-memory save");
+                best_weights = Some(buf);
+            }
+        }
+    }
+    if let Some(w) = best_weights {
+        model.store.load(w.as_slice()).expect("snapshot matches");
+    }
+    losses
+}
+
+/// Deterministic synthetic ACFG for tests and micro-benchmarks.
+pub fn synthetic_acfg(blocks: usize, seed: u64) -> Acfg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(blocks);
+    let mut succs = vec![Vec::new(); blocks];
+    for (i, s) in succs.iter_mut().enumerate() {
+        let mut f = [0.0f64; ACFG_FEATURES];
+        for v in f.iter_mut() {
+            *v = rng.gen_range(0.0..8.0f64).round();
+        }
+        features.push(f);
+        if i + 1 < blocks {
+            s.push(i + 1);
+        }
+        if i > 1 && rng.gen_bool(0.3) {
+            let t = rng.gen_range(0..i);
+            s.push(t);
+        }
+    }
+    Acfg { features, succs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GeminiModel {
+        GeminiModel::new(GeminiConfig {
+            embed_dim: 8,
+            iterations: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn embedding_has_configured_dim() {
+        let m = tiny();
+        let a = synthetic_acfg(5, 1);
+        let e = m.embed(&a);
+        assert_eq!(e.len(), 8);
+        assert!(e.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn identical_graphs_have_similarity_one() {
+        let m = tiny();
+        let a = synthetic_acfg(6, 2);
+        assert!((m.similarity(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn online_similarity_matches_full_path() {
+        let m = tiny();
+        let a = synthetic_acfg(5, 3);
+        let b = synthetic_acfg(7, 4);
+        let full = m.similarity(&a, &b);
+        let fast = GeminiModel::similarity_from_embeddings(&m.embed(&a), &m.embed(&b));
+        assert!(((0.5 * (full + 1.0)) - fast).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_separates_structures() {
+        let mut m = tiny();
+        let a1 = synthetic_acfg(4, 10);
+        let a2 = synthetic_acfg(4, 10); // identical
+        let b = synthetic_acfg(12, 99);
+        let pairs = vec![
+            (a1.clone(), a2.clone(), true),
+            (a1.clone(), b.clone(), false),
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..60 {
+            m.train_epoch(&pairs, &mut rng);
+        }
+        let pos = m.similarity(&a1, &a2);
+        let neg = m.similarity(&a1, &b);
+        assert!(pos > neg + 0.3, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn best_weights_restored_by_validator() {
+        let mut m = tiny();
+        let pairs = vec![(synthetic_acfg(3, 1), synthetic_acfg(3, 1), true)];
+        let mut scores = vec![0.9, 0.1, 0.1].into_iter();
+        let mut snaps: Vec<Vec<u8>> = Vec::new();
+        let mut validate = |m: &GeminiModel| {
+            let mut buf = Vec::new();
+            m.store.save(&mut buf).unwrap();
+            snaps.push(buf);
+            scores.next().unwrap_or(0.0)
+        };
+        train_gemini(&mut m, &pairs, 3, 5, Some(&mut validate));
+        let mut cur = Vec::new();
+        m.store.save(&mut cur).unwrap();
+        assert_eq!(cur, snaps[0], "epoch-1 weights should be restored");
+    }
+
+    #[test]
+    fn synthetic_acfg_is_deterministic() {
+        assert_eq!(synthetic_acfg(6, 7), synthetic_acfg(6, 7));
+    }
+}

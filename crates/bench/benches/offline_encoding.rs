@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the offline phase (Fig. 10b):
+//! decompilation, preprocessing, Tree-LSTM encoding, Diaphora hashing,
+//! ACFG extraction and Gemini embedding of a single function.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asteria::baselines::{extract_acfg, hash_ast, GeminiConfig, GeminiModel};
+use asteria::compiler::{compile_program, Arch};
+use asteria::core::{binarize, digitalize, AsteriaModel, ModelConfig};
+use asteria::decompiler::decompile_function;
+
+const SRC: &str = "int f(int n, int k) { int s = 0; int buf[8]; \
+                   for (int i = 0; i < n; i++) { buf[i] = ext_read(i) ^ k; \
+                   if (buf[i] > 64) { s += helper(buf[i]); } } return s; } \
+                   int helper(int x) { return x * 31 + 7; }";
+
+fn bench_offline(c: &mut Criterion) {
+    let program = asteria::lang::parse(SRC).expect("parse");
+    let binary = compile_program(&program, Arch::Ppc).expect("compile");
+    let model = AsteriaModel::new(ModelConfig::default());
+    let gemini = GeminiModel::new(GeminiConfig::default());
+    let decompiled = decompile_function(&binary, 0).expect("decompile");
+    let tree = binarize(&digitalize(&decompiled));
+    let acfg = extract_acfg(&binary, 0).expect("acfg");
+
+    let mut group = c.benchmark_group("offline_encoding");
+    group.bench_function("decompile_function", |b| {
+        b.iter(|| std::hint::black_box(decompile_function(&binary, 0).expect("ok")))
+    });
+    group.bench_function("preprocess_digitalize_binarize", |b| {
+        b.iter(|| std::hint::black_box(binarize(&digitalize(&decompiled))))
+    });
+    group.bench_function("tree_lstm_encode", |b| {
+        b.iter(|| std::hint::black_box(model.encode(&tree)))
+    });
+    group.bench_function("diaphora_hash", |b| {
+        b.iter(|| std::hint::black_box(hash_ast(&digitalize(&decompiled))))
+    });
+    group.bench_function("acfg_extract", |b| {
+        b.iter(|| std::hint::black_box(extract_acfg(&binary, 0).expect("ok")))
+    });
+    group.bench_function("gemini_embed", |b| {
+        b.iter(|| std::hint::black_box(gemini.embed(&acfg)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_offline
+}
+criterion_main!(benches);

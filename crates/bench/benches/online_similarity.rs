@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the online phase (Fig. 10c): similarity
+//! of one pre-encoded pair per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asteria::baselines::{diaphora_similarity, hash_ast, GeminiConfig, GeminiModel};
+use asteria::compiler::{compile_program, Arch};
+use asteria::core::{digitalize, extract_function, AsteriaModel, ModelConfig, DEFAULT_INLINE_BETA};
+use asteria::decompiler::decompile_function;
+
+const SRC: &str = "int f(int n, int k) { int s = 0; for (int i = 0; i < n; i++) { \
+                   if (i % 3 == 0) { s += ext_a(i, k); } else { s -= ext_b(i); } } \
+                   int t = 0; while (k > 0) { t ^= s + k; k -= 1; } return s + t; }";
+
+fn bench_online(c: &mut Criterion) {
+    let program = asteria::lang::parse(SRC).expect("parse");
+    let bx = compile_program(&program, Arch::X86).expect("compile");
+    let ba = compile_program(&program, Arch::Arm).expect("compile");
+
+    let model = AsteriaModel::new(ModelConfig::default());
+    let fx = extract_function(&bx, 0, DEFAULT_INLINE_BETA).expect("extract");
+    let fa = extract_function(&ba, 0, DEFAULT_INLINE_BETA).expect("extract");
+    let ex = model.encode(&fx.tree);
+    let ea = model.encode(&fa.tree);
+
+    let gemini = GeminiModel::new(GeminiConfig::default());
+    let gx = gemini.embed(&asteria::baselines::extract_acfg(&bx, 0).expect("acfg"));
+    let ga = gemini.embed(&asteria::baselines::extract_acfg(&ba, 0).expect("acfg"));
+
+    let hx = hash_ast(&digitalize(&decompile_function(&bx, 0).expect("ok")));
+    let ha = hash_ast(&digitalize(&decompile_function(&ba, 0).expect("ok")));
+
+    let mut group = c.benchmark_group("online_similarity");
+    group.bench_function("asteria_pair", |b| {
+        b.iter(|| std::hint::black_box(model.similarity_from_encodings(&ex, &ea)))
+    });
+    group.bench_function("gemini_pair", |b| {
+        b.iter(|| std::hint::black_box(GeminiModel::similarity_from_embeddings(&gx, &ga)))
+    });
+    group.bench_function("diaphora_pair", |b| {
+        b.iter(|| std::hint::black_box(diaphora_similarity(&hx, &ha)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_online
+}
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Extra ablation (DESIGN.md §4): left-child right-sibling binarization
+//! vs naive child truncation. LCRS preserves every sibling; truncation
+//! silently drops statements past the second child of each node.
+
+use asteria::core::{
+    binarize_truncated, digitalize, train, AsteriaModel, ModelConfig, TrainOptions, TrainPair,
+};
+use asteria::datasets::{build_corpus, build_pairs};
+use asteria::eval::{auc, ScoredPair};
+use asteria_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = build_corpus(&scale.corpus_config());
+    let pairs = build_pairs(&corpus, &scale.pair_config());
+    let (train_set, test_set) = pairs.split(0.8, 5);
+
+    // Re-digitalize every instance under the truncated binarization.
+    let truncated: Vec<_> = corpus
+        .instances
+        .iter()
+        .map(|inst| {
+            let cb = corpus
+                .binaries
+                .iter()
+                .find(|b| b.package == inst.package && b.arch == inst.arch)
+                .expect("binary");
+            let sym = cb.binary.symbol_index(&inst.name).expect("symbol");
+            let df = asteria::decompiler::decompile_function(&cb.binary, sym).expect("ok");
+            binarize_truncated(&digitalize(&df))
+        })
+        .collect();
+
+    println!("# Ablation — binarization strategy ({scale:?} scale)");
+    println!();
+    println!("| binarization | AUC (best epoch) |");
+    println!("|--------------|------------------|");
+
+    // LCRS (the paper's choice) on the normal pipeline.
+    {
+        let mut model = AsteriaModel::new(ModelConfig::default());
+        let tp: Vec<TrainPair> = train_set
+            .pairs
+            .iter()
+            .map(|p| TrainPair {
+                a: corpus.instances[p.a].extracted.tree.clone(),
+                b: corpus.instances[p.b].extracted.tree.clone(),
+                homologous: p.homologous,
+            })
+            .collect();
+        let mut best = f64::NEG_INFINITY;
+        {
+            let corpus_ref = &corpus;
+            let test_ref = &test_set;
+            let mut validate = |m: &AsteriaModel| {
+                let scores: Vec<ScoredPair> = test_ref
+                    .pairs
+                    .iter()
+                    .map(|p| {
+                        ScoredPair::new(
+                            m.similarity(
+                                &corpus_ref.instances[p.a].extracted.tree,
+                                &corpus_ref.instances[p.b].extracted.tree,
+                            ) as f64,
+                            p.homologous,
+                        )
+                    })
+                    .collect();
+                let a = auc(&scores);
+                best = best.max(a);
+                a
+            };
+            train(
+                &mut model,
+                &tp,
+                &TrainOptions {
+                    epochs: scale.epochs(),
+                    seed: 7,
+                    verbose: false,
+                },
+                Some(&mut validate),
+            );
+        }
+        println!("| LCRS (paper) | {best:.4} |");
+        eprintln!("[ablation] LCRS: {best:.4}");
+    }
+
+    // Truncation.
+    {
+        let mut model = AsteriaModel::new(ModelConfig::default());
+        let tp: Vec<TrainPair> = train_set
+            .pairs
+            .iter()
+            .map(|p| TrainPair {
+                a: truncated[p.a].clone(),
+                b: truncated[p.b].clone(),
+                homologous: p.homologous,
+            })
+            .collect();
+        let mut best = f64::NEG_INFINITY;
+        {
+            let trunc_ref = &truncated;
+            let test_ref = &test_set;
+            let mut validate = |m: &AsteriaModel| {
+                let scores: Vec<ScoredPair> = test_ref
+                    .pairs
+                    .iter()
+                    .map(|p| {
+                        ScoredPair::new(
+                            m.similarity(&trunc_ref[p.a], &trunc_ref[p.b]) as f64,
+                            p.homologous,
+                        )
+                    })
+                    .collect();
+                let a = auc(&scores);
+                best = best.max(a);
+                a
+            };
+            train(
+                &mut model,
+                &tp,
+                &TrainOptions {
+                    epochs: scale.epochs(),
+                    seed: 7,
+                    verbose: false,
+                },
+                Some(&mut validate),
+            );
+        }
+        println!("| child truncation | {best:.4} |");
+        eprintln!("[ablation] truncation: {best:.4}");
+    }
+}

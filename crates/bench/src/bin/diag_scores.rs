@@ -1,0 +1,39 @@
+//! Diagnostic: per-system score distributions on the test split
+//! (positives vs negatives). Not a paper figure — a debugging aid for the
+//! evaluation pipeline.
+
+use asteria::eval::Summary;
+use asteria_bench::{Experiment, Scale};
+
+fn describe(name: &str, scores: &[asteria::eval::ScoredPair]) {
+    let pos: Vec<f64> = scores
+        .iter()
+        .filter(|s| s.positive)
+        .map(|s| s.score)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .filter(|s| !s.positive)
+        .map(|s| s.score)
+        .collect();
+    let sp = Summary::of(&pos).expect("positives");
+    let sn = Summary::of(&neg).expect("negatives");
+    println!(
+        "{name:12} pos: mean {:.3} med {:.3} min {:.3} | neg: mean {:.3} med {:.3} max {:.3}",
+        sp.mean, sp.median, sp.min, sn.mean, sn.median, sn.max
+    );
+    let high_neg = neg.iter().filter(|v| **v > sp.median).count();
+    println!(
+        "{name:12} negatives above positive median: {high_neg}/{} ({:.1}%)",
+        neg.len(),
+        100.0 * high_neg as f64 / neg.len() as f64
+    );
+}
+
+fn main() {
+    let exp = Experiment::setup(Scale::from_args());
+    describe("Asteria", &exp.asteria_scores(&exp.test_set, true));
+    describe("Asteria-WOC", &exp.asteria_scores(&exp.test_set, false));
+    describe("Gemini", &exp.gemini_scores(&exp.test_set));
+    describe("Diaphora", &exp.diaphora_scores(&exp.test_set));
+}

@@ -1,0 +1,201 @@
+//! Fig. 10: computational overhead.
+//!
+//! (a) cumulative distribution of AST sizes;
+//! (b) offline-phase time per function — decompilation (A-D),
+//!     preprocessing (A-P), Tree-LSTM encoding (A-E) for Asteria; AST
+//!     hashing for Diaphora (D-H); ACFG extraction (G-EX) and embedding
+//!     (G-EN) for Gemini;
+//! (c) online-phase time per pair for all three systems.
+
+use asteria::baselines::{diaphora_similarity, extract_acfg, hash_ast, GeminiConfig, GeminiModel};
+use asteria::core::{binarize, digitalize, AsteriaModel, ModelConfig};
+use asteria::decompiler::decompile_function;
+use asteria::eval::{cdf_points, measure_n, percentile};
+use asteria_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = asteria::datasets::build_corpus(&scale.corpus_config());
+    let model = AsteriaModel::new(ModelConfig::default());
+    let gemini = GeminiModel::new(GeminiConfig::default());
+
+    // ---- (a) AST size CDF -------------------------------------------------
+    let sizes: Vec<f64> = corpus
+        .instances
+        .iter()
+        .map(|i| i.extracted.ast_size as f64)
+        .collect();
+    println!(
+        "# Fig. 10(a) — AST size CDF ({scale:?} scale, {} ASTs)",
+        sizes.len()
+    );
+    println!();
+    let mut sorted = sizes.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    for bound in [20.0, 40.0, 80.0, 200.0] {
+        let frac = sorted.iter().filter(|s| **s < bound).count() as f64 / sorted.len() as f64;
+        println!("ASTs with size < {bound:>3}: {:.1}%", frac * 100.0);
+    }
+    println!(
+        "min {} / median {} / p90 {} / max {}",
+        sorted[0],
+        percentile(&sorted, 50.0),
+        percentile(&sorted, 90.0),
+        sorted[sorted.len() - 1]
+    );
+    let cdf = cdf_points(&sizes);
+    let step = (cdf.len() / 20).max(1);
+    let pts: Vec<String> = cdf
+        .iter()
+        .step_by(step)
+        .chain(cdf.last())
+        .map(|(x, f)| format!("({x:.0},{f:.2})"))
+        .collect();
+    println!("CDF: {}", pts.join(" "));
+
+    // ---- (b) offline time per function ------------------------------------
+    // Sample functions across the corpus (the paper buckets by AST size;
+    // we report aggregate per-function means per pipeline stage).
+    let sample: Vec<(usize, usize)> = corpus
+        .instances
+        .iter()
+        .enumerate()
+        .step_by((corpus.instances.len() / 120).max(1))
+        .map(|(_i, inst)| {
+            let bi = corpus
+                .binaries
+                .iter()
+                .position(|b| b.package == inst.package && b.arch == inst.arch)
+                .expect("binary");
+            let sym = corpus.binaries[bi]
+                .binary
+                .symbol_index(&inst.name)
+                .expect("symbol");
+            (bi, sym)
+        })
+        .collect();
+
+    println!();
+    println!("# Fig. 10(b) — offline phase, mean seconds per function");
+    println!();
+    println!("| stage | seconds/function |");
+    println!("|-------|------------------|");
+    let reps = 3u64;
+    let t_decomp = measure_n(reps, || {
+        let mut acc = 0.0;
+        for (bi, sym) in &sample {
+            let f = decompile_function(&corpus.binaries[*bi].binary, *sym).expect("decompile");
+            acc += f.inst_count as f64;
+        }
+        acc
+    });
+    let decompiled: Vec<_> = sample
+        .iter()
+        .map(|(bi, sym)| decompile_function(&corpus.binaries[*bi].binary, *sym).expect("ok"))
+        .collect();
+    let t_prep = measure_n(reps, || {
+        let mut acc = 0.0;
+        for f in &decompiled {
+            let t = binarize(&digitalize(f));
+            acc += t.size() as f64;
+        }
+        acc
+    });
+    let trees: Vec<_> = decompiled
+        .iter()
+        .map(|f| binarize(&digitalize(f)))
+        .collect();
+    let t_encode = measure_n(reps, || {
+        let mut acc = 0.0;
+        for t in &trees {
+            acc += model.encode(t)[0] as f64;
+        }
+        acc
+    });
+    let t_dhash = measure_n(reps, || {
+        let mut acc = 0.0;
+        for f in &decompiled {
+            acc += hash_ast(&digitalize(f)).bits() as f64;
+        }
+        acc
+    });
+    let t_gex = measure_n(reps, || {
+        let mut acc = 0.0;
+        for (bi, sym) in &sample {
+            let a = extract_acfg(&corpus.binaries[*bi].binary, *sym).expect("acfg");
+            acc += a.len() as f64;
+        }
+        acc
+    });
+    let acfgs: Vec<_> = sample
+        .iter()
+        .map(|(bi, sym)| extract_acfg(&corpus.binaries[*bi].binary, *sym).expect("ok"))
+        .collect();
+    let t_gen = measure_n(reps, || {
+        let mut acc = 0.0;
+        for a in &acfgs {
+            acc += gemini.embed(a)[0] as f64;
+        }
+        acc
+    });
+    let per_fn =
+        |t: asteria::eval::Timing| t.total_seconds / (t.iterations as f64 * sample.len() as f64);
+    println!("| A-D (Asteria decompile) | {:.3e} |", per_fn(t_decomp));
+    println!("| A-P (Asteria preprocess) | {:.3e} |", per_fn(t_prep));
+    println!("| A-E (Asteria encode) | {:.3e} |", per_fn(t_encode));
+    println!("| D-H (Diaphora hash) | {:.3e} |", per_fn(t_dhash));
+    println!("| G-EX (Gemini ACFG extract) | {:.3e} |", per_fn(t_gex));
+    println!("| G-EN (Gemini embed) | {:.3e} |", per_fn(t_gen));
+
+    // ---- (c) online time per pair -----------------------------------------
+    println!();
+    println!("# Fig. 10(c) — online phase, mean seconds per pair");
+    println!();
+    println!("| system | seconds/pair |");
+    println!("|--------|--------------|");
+    let enc: Vec<Vec<f32>> = trees.iter().map(|t| model.encode(t)).collect();
+    let gemb: Vec<Vec<f32>> = acfgs.iter().map(|a| gemini.embed(a)).collect();
+    let hashes: Vec<_> = decompiled
+        .iter()
+        .map(|f| hash_ast(&digitalize(f)))
+        .collect();
+    let n = enc.len();
+    let online_reps = 200u64;
+    let t_asteria = measure_n(online_reps, || {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += model.similarity_from_encodings(&enc[i], &enc[(i + 1) % n]) as f64;
+        }
+        acc
+    });
+    let t_gemini = measure_n(online_reps, || {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += GeminiModel::similarity_from_embeddings(&gemb[i], &gemb[(i + 1) % n]) as f64;
+        }
+        acc
+    });
+    let diaphora_reps = 3u64;
+    let t_diaphora = measure_n(diaphora_reps, || {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += diaphora_similarity(&hashes[i], &hashes[(i + 1) % n]);
+        }
+        acc
+    });
+    let per_pair = |t: asteria::eval::Timing| t.total_seconds / (t.iterations as f64 * n as f64);
+    let (a, g, d) = (
+        per_pair(t_asteria),
+        per_pair(t_gemini),
+        per_pair(t_diaphora),
+    );
+    println!("| Asteria | {a:.3e} |");
+    println!("| Gemini | {g:.3e} |");
+    println!("| Diaphora | {d:.3e} |");
+    println!();
+    println!(
+        "speedups: Asteria is {:.1}x faster than Gemini, {:.1}x faster than Diaphora",
+        g / a,
+        d / a
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 6: ROC curves in the mixed cross-architecture evaluation for
+//! Asteria, Asteria-WOC, Gemini, and Diaphora.
+
+use asteria::eval::{auc, roc_curve, tpr_at_fpr};
+use asteria_bench::{Experiment, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let exp = Experiment::setup(scale);
+
+    let systems = [
+        ("Asteria", exp.asteria_scores(&exp.test_set, true)),
+        ("Asteria-WOC", exp.asteria_scores(&exp.test_set, false)),
+        ("Gemini", exp.gemini_scores(&exp.test_set)),
+        ("Diaphora", exp.diaphora_scores(&exp.test_set)),
+    ];
+
+    println!("# Fig. 6 — mixed cross-architecture ROC ({scale:?} scale)");
+    println!();
+    println!("| system | AUC | TPR @ 5% FPR |");
+    println!("|--------|-----|---------------|");
+    for (name, scores) in &systems {
+        println!(
+            "| {name} | {:.4} | {:.3} |",
+            auc(scores),
+            tpr_at_fpr(scores, 0.05)
+        );
+    }
+    println!();
+    println!("ROC series (fpr,tpr per system, decimated to ≤25 points):");
+    for (name, scores) in &systems {
+        let roc = roc_curve(scores);
+        let step = (roc.len() / 25).max(1);
+        let pts: Vec<String> = roc
+            .iter()
+            .step_by(step)
+            .chain(roc.last())
+            .map(|p| format!("({:.3},{:.3})", p.fpr, p.tpr))
+            .collect();
+        println!("{name}: {}", pts.join(" "));
+    }
+}

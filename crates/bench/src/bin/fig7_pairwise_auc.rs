@@ -1,0 +1,27 @@
+//! Fig. 7: AUC per pair-wise architecture combination for all four
+//! systems.
+
+use asteria::datasets::ARCH_COMBINATIONS;
+use asteria::eval::auc;
+use asteria_bench::{Experiment, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let exp = Experiment::setup(scale);
+
+    println!("# Fig. 7 — pair-wise cross-architecture AUC ({scale:?} scale)");
+    println!();
+    println!("| arch-comb | Asteria | Asteria-WOC | Gemini | Diaphora |");
+    println!("|-----------|---------|-------------|--------|----------|");
+    for (a, b) in ARCH_COMBINATIONS {
+        let subset = exp.test_set.for_combination(&exp.corpus, a, b);
+        if subset.is_empty() {
+            continue;
+        }
+        let asteria = auc(&exp.asteria_scores(&subset, true));
+        let woc = auc(&exp.asteria_scores(&subset, false));
+        let gemini = auc(&exp.gemini_scores(&subset));
+        let diaphora = auc(&exp.diaphora_scores(&subset));
+        println!("| {a}-{b} | {asteria:.4} | {woc:.4} | {gemini:.4} | {diaphora:.4} |");
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 8: model AUC as the node-embedding size sweeps 8 → 128.
+//!
+//! The paper finds 16 near-optimal with a flat top and a slight decline at
+//! 128 (overfitting a 43-label vocabulary).
+
+use asteria::core::{train, AsteriaModel, ModelConfig, TrainOptions};
+use asteria::datasets::{build_corpus, build_pairs, to_train_pairs};
+use asteria::eval::auc;
+use asteria_bench::{asteria_scores, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = build_corpus(&scale.corpus_config());
+    let pairs = build_pairs(&corpus, &scale.pair_config());
+    let (train_set, test_set) = pairs.split(0.8, 5);
+    let train_pairs = to_train_pairs(&corpus, &train_set);
+
+    println!("# Fig. 8 — AUC vs embedding size ({scale:?} scale)");
+    println!();
+    println!("| embedding size | AUC (best epoch) |");
+    println!("|----------------|------------------|");
+    for embed_dim in [8usize, 16, 32, 64, 128] {
+        let mut model = AsteriaModel::new(ModelConfig {
+            embed_dim,
+            ..Default::default()
+        });
+        let mut best = f64::NEG_INFINITY;
+        {
+            let corpus_ref = &corpus;
+            let test_ref = &test_set;
+            let mut validate = |m: &AsteriaModel| -> f64 {
+                let a = auc(&asteria_scores(m, corpus_ref, test_ref, true));
+                if a > best {
+                    best = a;
+                }
+                a
+            };
+            train(
+                &mut model,
+                &train_pairs,
+                &TrainOptions {
+                    epochs: scale.epochs(),
+                    seed: 7,
+                    verbose: false,
+                },
+                Some(&mut validate),
+            );
+        }
+        println!("| {embed_dim} | {best:.4} |");
+        eprintln!("[fig8] embedding {embed_dim}: {best:.4}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig. 9: impact of the Siamese structure (classification vs cosine
+//! regression) and of the leaf-state initialization (zeros vs ones),
+//! plus this reproduction's extra ablation: the calibration filter β.
+
+use asteria::core::{
+    calibrated_similarity, train, AsteriaModel, LeafInit, ModelConfig, SiameseKind, TrainOptions,
+};
+use asteria::datasets::{build_corpus, build_pairs, to_train_pairs, CorpusConfig};
+use asteria::eval::{auc, ScoredPair};
+use asteria_bench::{asteria_scores, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = build_corpus(&scale.corpus_config());
+    let pairs = build_pairs(&corpus, &scale.pair_config());
+    let (train_set, test_set) = pairs.split(0.8, 5);
+    let train_pairs = to_train_pairs(&corpus, &train_set);
+
+    println!("# Fig. 9 — Siamese structure & leaf-initialization ablations ({scale:?} scale)");
+    println!();
+    println!("| variant | AUC (best epoch) |");
+    println!("|---------|------------------|");
+    let variants: [(&str, SiameseKind, LeafInit); 4] = [
+        (
+            "Classification + Leaf-0 (paper)",
+            SiameseKind::Classification,
+            LeafInit::Zeros,
+        ),
+        (
+            "Regression (cosine) + Leaf-0",
+            SiameseKind::Regression,
+            LeafInit::Zeros,
+        ),
+        (
+            "Classification + Leaf-1",
+            SiameseKind::Classification,
+            LeafInit::Ones,
+        ),
+        (
+            "Regression (cosine) + Leaf-1",
+            SiameseKind::Regression,
+            LeafInit::Ones,
+        ),
+    ];
+    for (name, head, leaf) in variants {
+        let mut model = AsteriaModel::new(ModelConfig {
+            head,
+            leaf_init: leaf,
+            ..Default::default()
+        });
+        let mut best = f64::NEG_INFINITY;
+        {
+            let corpus_ref = &corpus;
+            let test_ref = &test_set;
+            let mut validate = |m: &AsteriaModel| -> f64 {
+                let a = auc(&asteria_scores(m, corpus_ref, test_ref, true));
+                if a > best {
+                    best = a;
+                }
+                a
+            };
+            train(
+                &mut model,
+                &train_pairs,
+                &TrainOptions {
+                    epochs: scale.epochs(),
+                    seed: 7,
+                    verbose: false,
+                },
+                Some(&mut validate),
+            );
+        }
+        println!("| {name} | {best:.4} |");
+        eprintln!("[fig9] {name}: {best:.4}");
+    }
+
+    // Extra ablation (DESIGN.md §4): sweep the inline-filter β used by the
+    // callee-count calibration. β controls which callees are considered
+    // inlining candidates; too large and the calibration feature itself
+    // becomes unstable across architectures.
+    println!();
+    println!("## Calibration inline-filter β sweep (extra ablation)");
+    println!();
+    println!("| β | AUC with calibration |");
+    println!("|---|----------------------|");
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    {
+        let corpus_ref = &corpus;
+        let test_ref = &test_set;
+        let mut validate =
+            |m: &AsteriaModel| -> f64 { auc(&asteria_scores(m, corpus_ref, test_ref, true)) };
+        train(
+            &mut model,
+            &train_pairs,
+            &TrainOptions {
+                epochs: scale.epochs(),
+                seed: 7,
+                verbose: false,
+            },
+            Some(&mut validate),
+        );
+    }
+    for beta in [0usize, 3, 6, 12, 24] {
+        // Re-extract callee counts at this β for the test pairs.
+        let corpus_beta = build_corpus(&CorpusConfig {
+            beta,
+            ..scale.corpus_config()
+        });
+        let scores: Vec<ScoredPair> = test_set
+            .pairs
+            .iter()
+            .map(|p| {
+                let ia = &corpus_beta.instances[p.a];
+                let ib = &corpus_beta.instances[p.b];
+                let m = model.similarity_from_encodings(
+                    &model.encode(&ia.extracted.tree),
+                    &model.encode(&ib.extracted.tree),
+                ) as f64;
+                ScoredPair::new(
+                    calibrated_similarity(m, ia.extracted.callee_count, ib.extracted.callee_count),
+                    p.homologous,
+                )
+            })
+            .collect();
+        println!("| {beta} | {:.4} |", auc(&scores));
+        eprintln!("[fig9] beta {beta} done");
+    }
+}

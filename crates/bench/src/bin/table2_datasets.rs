@@ -1,0 +1,54 @@
+//! Table II: number of binaries and functions per platform in the
+//! datasets (training corpus + firmware corpus).
+
+use asteria::vulnsearch::{build_firmware_corpus, vulnerability_library, FirmwareConfig};
+use asteria_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = asteria::datasets::build_corpus(&scale.corpus_config());
+
+    println!("# Table II — datasets ({scale:?} scale)");
+    println!();
+    println!("| dataset | platform | binaries | functions |");
+    println!("|---------|----------|----------|-----------|");
+    let mut total_bins = 0;
+    let mut total_funcs = 0;
+    for (arch, bins, funcs) in corpus.arch_stats() {
+        println!("| corpus | {arch} | {bins} | {funcs} |");
+        total_bins += bins;
+        total_funcs += funcs;
+    }
+
+    let fw_cfg = match scale {
+        Scale::Smoke => FirmwareConfig {
+            images: 12,
+            ..Default::default()
+        },
+        Scale::Mid => FirmwareConfig {
+            images: 30,
+            ..Default::default()
+        },
+        Scale::Paper => FirmwareConfig {
+            images: 60,
+            ..Default::default()
+        },
+    };
+    let firmware = build_firmware_corpus(&fw_cfg, &vulnerability_library());
+    for arch in asteria::compiler::Arch::ALL {
+        let images: Vec<_> = firmware.iter().filter(|i| i.arch == arch).collect();
+        let bins: usize = images.iter().map(|i| i.binaries.len()).sum();
+        let funcs: usize = images.iter().map(|i| i.function_count()).sum();
+        println!("| firmware | {arch} | {bins} | {funcs} |");
+        total_bins += bins;
+        total_funcs += funcs;
+    }
+    println!("| total | — | {total_bins} | {total_funcs} |");
+    println!();
+    println!(
+        "(corpus: {} packages × 4 ISAs; firmware: {} images; {} ASTs filtered by size < 5)",
+        scale.corpus_config().packages,
+        firmware.len(),
+        corpus.filtered_out
+    );
+}

@@ -1,0 +1,28 @@
+//! Table III: number of function pairs per architecture combination.
+
+use asteria::datasets::{build_pairs, ARCH_COMBINATIONS};
+use asteria_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = asteria::datasets::build_corpus(&scale.corpus_config());
+    let pairs = build_pairs(&corpus, &scale.pair_config());
+    let (train, test) = pairs.split(0.8, 5);
+
+    println!("# Table III — function pairs per architecture combination ({scale:?} scale)");
+    println!();
+    println!("| arch-comb | pairs | train | test |");
+    println!("|-----------|-------|-------|------|");
+    for (a, b) in ARCH_COMBINATIONS {
+        let all = pairs.for_combination(&corpus, a, b).len();
+        let tr = train.for_combination(&corpus, a, b).len();
+        let te = test.for_combination(&corpus, a, b).len();
+        println!("| {a}-{b} | {all} | {tr} | {te} |");
+    }
+    println!(
+        "| total | {} | {} | {} |",
+        pairs.len(),
+        train.len(),
+        test.len()
+    );
+}

@@ -1,0 +1,332 @@
+//! `asteria-bench` — experiment harnesses regenerating every table and
+//! figure of the paper, plus Criterion micro-benchmarks for the timing
+//! studies.
+//!
+//! Each table/figure has a dedicated binary (`table1_nodes`, `fig6_roc`,
+//! …) that prints the same rows/series the paper reports. All binaries
+//! accept `--scale smoke|paper` (default `smoke`): `smoke` finishes on one
+//! CPU core in minutes; `paper` raises corpus sizes and epochs toward the
+//! paper's scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asteria::baselines::{extract_acfg, train_gemini, Acfg, GeminiConfig, GeminiModel};
+use asteria::core::{calibrated_similarity, train, AsteriaModel, ModelConfig, TrainOptions};
+use asteria::datasets::{
+    build_corpus_with_extra, build_pairs, to_train_pairs, Corpus, CorpusConfig, Pair, PairConfig,
+    PairSet,
+};
+use asteria::eval::{auc, ScoredPair};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes on one core; what EXPERIMENTS.md records.
+    Smoke,
+    /// Tens of minutes on one core: a stronger statistical check.
+    Mid,
+    /// Larger corpora and more epochs, toward the paper's scale (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale …` from argv, defaulting to `Smoke`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" {
+                match w[1].as_str() {
+                    "paper" => return Scale::Paper,
+                    "mid" => return Scale::Mid,
+                    _ => {}
+                }
+            }
+        }
+        if args.iter().any(|a| a == "--paper") {
+            return Scale::Paper;
+        }
+        Scale::Smoke
+    }
+
+    /// Corpus configuration at this scale.
+    pub fn corpus_config(self) -> CorpusConfig {
+        match self {
+            Scale::Smoke => CorpusConfig {
+                packages: 12,
+                functions_per_package: 8,
+                seed: 42,
+                ..Default::default()
+            },
+            Scale::Mid => CorpusConfig {
+                packages: 24,
+                functions_per_package: 10,
+                seed: 42,
+                ..Default::default()
+            },
+            Scale::Paper => CorpusConfig {
+                packages: 60,
+                functions_per_package: 12,
+                seed: 42,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Pair-sampling configuration at this scale.
+    pub fn pair_config(self) -> PairConfig {
+        match self {
+            Scale::Smoke => PairConfig {
+                positives_per_combination: 60,
+                negatives_per_combination: 60,
+                seed: 3,
+            },
+            Scale::Mid => PairConfig {
+                positives_per_combination: 150,
+                negatives_per_combination: 150,
+                seed: 3,
+            },
+            Scale::Paper => PairConfig {
+                positives_per_combination: 400,
+                negatives_per_combination: 400,
+                seed: 3,
+            },
+        }
+    }
+
+    /// Training epochs at this scale (the paper trains 60).
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Mid => 16,
+            Scale::Paper => 60,
+        }
+    }
+}
+
+/// A ready-to-evaluate experiment context: corpus, split pair sets, and
+/// trained Asteria + Gemini models.
+pub struct Experiment {
+    /// The cross-compiled corpus.
+    pub corpus: Corpus,
+    /// Training pairs (80%).
+    pub train_set: PairSet,
+    /// Held-out pairs (20%).
+    pub test_set: PairSet,
+    /// Trained Asteria model.
+    pub asteria: AsteriaModel,
+    /// Trained Gemini model.
+    pub gemini: GeminiModel,
+    /// ACFGs for every corpus instance (aligned with `corpus.instances`).
+    pub acfgs: Vec<Acfg>,
+}
+
+/// Extracts the ACFG of every corpus instance.
+pub fn corpus_acfgs(corpus: &Corpus) -> Vec<Acfg> {
+    corpus
+        .instances
+        .iter()
+        .map(|inst| {
+            let cb = corpus
+                .binaries
+                .iter()
+                .find(|b| b.package == inst.package && b.arch == inst.arch)
+                .expect("binary for instance");
+            let sym = cb
+                .binary
+                .symbol_index(&inst.name)
+                .expect("symbol for instance");
+            extract_acfg(&cb.binary, sym).expect("acfg extraction")
+        })
+        .collect()
+}
+
+impl Experiment {
+    /// Builds corpus + pairs and trains both models. Progress is logged to
+    /// stderr because training takes a minute or two at smoke scale.
+    pub fn setup(scale: Scale) -> Experiment {
+        Self::setup_with_model(scale, ModelConfig::default())
+    }
+
+    /// Like [`Experiment::setup`] but with a custom Asteria configuration
+    /// (used by the Fig. 8/9 ablation binaries).
+    pub fn setup_with_model(scale: Scale, model_config: ModelConfig) -> Experiment {
+        eprintln!("[setup] building corpus…");
+        // Mirror the paper's Buildroot setup: the training corpus contains
+        // library code of the same style later searched for vulnerabilities
+        // (the *patched* CVE variants — never the vulnerable queries).
+        let library_pkg: Vec<(String, String)> = asteria::vulnsearch::vulnerability_library()
+            .iter()
+            .map(|e| (format!("lib_{}", e.software), e.patched_source.clone()))
+            .enumerate()
+            .map(|(i, (n, s))| (format!("{n}{i}"), s))
+            .collect();
+        let corpus = build_corpus_with_extra(&scale.corpus_config(), &library_pkg);
+        eprintln!(
+            "[setup] corpus: {} binaries, {} function instances",
+            corpus.binaries.len(),
+            corpus.instances.len()
+        );
+        let pairs = build_pairs(&corpus, &scale.pair_config());
+        let (train_set, test_set) = pairs.split(0.8, 5);
+        eprintln!(
+            "[setup] pairs: {} train / {} test",
+            train_set.len(),
+            test_set.len()
+        );
+
+        eprintln!("[setup] training Asteria ({} epochs)…", scale.epochs());
+        let mut asteria = AsteriaModel::new(model_config);
+        let train_pairs = to_train_pairs(&corpus, &train_set);
+        {
+            let corpus_ref = &corpus;
+            let test_ref = &test_set;
+            let mut validate =
+                |m: &AsteriaModel| -> f64 { auc(&asteria_scores(m, corpus_ref, test_ref, true)) };
+            train(
+                &mut asteria,
+                &train_pairs,
+                &TrainOptions {
+                    epochs: scale.epochs(),
+                    seed: 7,
+                    verbose: false,
+                },
+                Some(&mut validate),
+            );
+        }
+
+        eprintln!("[setup] extracting ACFGs…");
+        let acfgs = corpus_acfgs(&corpus);
+        eprintln!("[setup] training Gemini ({} epochs)…", scale.epochs());
+        let mut gemini = GeminiModel::new(GeminiConfig::default());
+        let gemini_pairs: Vec<(Acfg, Acfg, bool)> = train_set
+            .pairs
+            .iter()
+            .map(|p| (acfgs[p.a].clone(), acfgs[p.b].clone(), p.homologous))
+            .collect();
+        {
+            let acfgs_ref = &acfgs;
+            let test_ref = &test_set;
+            let mut validate =
+                |m: &GeminiModel| -> f64 { auc(&gemini_scores_with(m, acfgs_ref, test_ref)) };
+            train_gemini(
+                &mut gemini,
+                &gemini_pairs,
+                scale.epochs(),
+                9,
+                Some(&mut validate),
+            );
+        }
+        eprintln!("[setup] done.");
+        Experiment {
+            corpus,
+            train_set,
+            test_set,
+            asteria,
+            gemini,
+            acfgs,
+        }
+    }
+
+    /// Scored test pairs for Asteria (with or without calibration —
+    /// "Asteria" vs "Asteria-WOC" in Figs. 6–7).
+    pub fn asteria_scores(&self, set: &PairSet, calibrate: bool) -> Vec<ScoredPair> {
+        asteria_scores(&self.asteria, &self.corpus, set, calibrate)
+    }
+
+    /// Scored test pairs for Gemini.
+    pub fn gemini_scores(&self, set: &PairSet) -> Vec<ScoredPair> {
+        gemini_scores_with(&self.gemini, &self.acfgs, set)
+    }
+
+    /// Scored test pairs for Diaphora.
+    pub fn diaphora_scores(&self, set: &PairSet) -> Vec<ScoredPair> {
+        use asteria::baselines::{diaphora_similarity, hash_ast, DiaphoraHash};
+        use asteria::core::digitalize;
+        let mut hashes: Vec<Option<DiaphoraHash>> = vec![None; self.corpus.instances.len()];
+        let corpus = &self.corpus;
+        let mut hash_of = |i: usize| {
+            if hashes[i].is_none() {
+                let inst = &corpus.instances[i];
+                let cb = corpus
+                    .binaries
+                    .iter()
+                    .find(|b| b.package == inst.package && b.arch == inst.arch)
+                    .expect("binary");
+                let sym = cb.binary.symbol_index(&inst.name).expect("symbol");
+                let df =
+                    asteria::decompiler::decompile_function(&cb.binary, sym).expect("decompile");
+                hashes[i] = Some(hash_ast(&digitalize(&df)));
+            }
+            hashes[i].clone().expect("just computed")
+        };
+        set.pairs
+            .iter()
+            .map(|p| {
+                let ha = hash_of(p.a);
+                let hb = hash_of(p.b);
+                ScoredPair::new(diaphora_similarity(&ha, &hb), p.homologous)
+            })
+            .collect()
+    }
+}
+
+/// Asteria scores over a pair set (standalone so validation closures can
+/// use it during training).
+pub fn asteria_scores(
+    model: &AsteriaModel,
+    corpus: &Corpus,
+    set: &PairSet,
+    calibrate: bool,
+) -> Vec<ScoredPair> {
+    let mut enc: Vec<Option<Vec<f32>>> = vec![None; corpus.instances.len()];
+    let mut encode = |i: usize| {
+        if enc[i].is_none() {
+            enc[i] = Some(model.encode(&corpus.instances[i].extracted.tree));
+        }
+        enc[i].clone().expect("just computed")
+    };
+    set.pairs
+        .iter()
+        .map(|p: &Pair| {
+            let va = encode(p.a);
+            let vb = encode(p.b);
+            let m = model.similarity_from_encodings(&va, &vb) as f64;
+            let score = if calibrate {
+                calibrated_similarity(
+                    m,
+                    corpus.instances[p.a].extracted.callee_count,
+                    corpus.instances[p.b].extracted.callee_count,
+                )
+            } else {
+                m
+            };
+            ScoredPair::new(score, p.homologous)
+        })
+        .collect()
+}
+
+/// Gemini scores over a pair set.
+pub fn gemini_scores_with(model: &GeminiModel, acfgs: &[Acfg], set: &PairSet) -> Vec<ScoredPair> {
+    let mut emb: Vec<Option<Vec<f32>>> = vec![None; acfgs.len()];
+    let mut embed = |i: usize| {
+        if emb[i].is_none() {
+            emb[i] = Some(model.embed(&acfgs[i]));
+        }
+        emb[i].clone().expect("just computed")
+    };
+    set.pairs
+        .iter()
+        .map(|p| {
+            let ea = embed(p.a);
+            let eb = embed(p.b);
+            let s = GeminiModel::similarity_from_embeddings(&ea, &eb) as f64;
+            ScoredPair::new(s, p.homologous)
+        })
+        .collect()
+}
+
+/// Prints a markdown-ish table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}

@@ -1,0 +1,60 @@
+//! Property-based tests: BigUint arithmetic against u128 reference
+//! values, and factorization as the exact inverse of multiplication.
+
+use proptest::prelude::*;
+
+use asteria_bignum::{first_primes, BigUint};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// mul_u64 agrees with u128 arithmetic while values fit.
+    #[test]
+    fn mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..=u64::MAX) {
+        let mut big = BigUint::from_u64(a);
+        big.mul_u64(b);
+        let expect = a as u128 * b as u128;
+        prop_assert_eq!(big.to_decimal(), expect.to_string());
+    }
+
+    /// divmod is the inverse of mul and matches u128 remainders.
+    #[test]
+    fn divmod_matches_u128(a in 1u64..u64::MAX, d in 1u64..100_000) {
+        let mut big = BigUint::from_u64(a);
+        big.mul_u64(7919); // force a second limb sometimes
+        let expect_val = a as u128 * 7919;
+        let rem = big.divmod_u64(d);
+        prop_assert_eq!(rem as u128, expect_val % d as u128);
+        prop_assert_eq!(big.to_decimal(), (expect_val / d as u128).to_string());
+    }
+
+    /// add_u64 carries correctly.
+    #[test]
+    fn add_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let mut big = BigUint::from_u64(a);
+        big.add_u64(b);
+        prop_assert_eq!(big.to_decimal(), (a as u128 + b as u128).to_string());
+    }
+
+    /// Factoring a constructed prime product recovers the exact exponents.
+    #[test]
+    fn factorization_inverts_multiplication(exps in proptest::collection::vec(0u32..6, 8)) {
+        let primes = first_primes(8);
+        let mut n = BigUint::one();
+        for (p, e) in primes.iter().zip(&exps) {
+            for _ in 0..*e {
+                n.mul_u64(*p);
+            }
+        }
+        let (recovered, complete) = n.factor_over(&primes);
+        prop_assert!(complete);
+        prop_assert_eq!(recovered, exps);
+    }
+
+    /// Ordering agrees with decimal-string length + lexicographic order.
+    #[test]
+    fn ordering_is_consistent(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (ba, bb) = (BigUint::from_u64(a), BigUint::from_u64(b));
+        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+    }
+}

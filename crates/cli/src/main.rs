@@ -1,0 +1,330 @@
+//! `asteria-cli` — a command-line front end over the whole reproduction.
+//!
+//! ```text
+//! asteria-cli compile   <src.mc> --arch x86|x64|arm|ppc -o <out.sbf>
+//! asteria-cli info      <bin.sbf>
+//! asteria-cli disasm    <bin.sbf> [--function NAME]
+//! asteria-cli decompile <bin.sbf> [--function NAME]
+//! asteria-cli run       <bin.sbf> <function> [int args…]
+//! asteria-cli strip     <bin.sbf> -o <out.sbf>
+//! asteria-cli train     -o <model.bin> [--packages N] [--epochs E]
+//! asteria-cli similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use asteria::compiler::{compile_program, decode_function, Arch, Binary, SymbolKind, Vm};
+use asteria::core::{
+    extract_function, function_similarity, train, AsteriaModel, ModelConfig, TrainOptions,
+    DEFAULT_INLINE_BETA,
+};
+use asteria::datasets::{build_corpus, build_pairs, to_train_pairs, CorpusConfig, PairConfig};
+use asteria::decompiler::{decompile_function, render_function};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("decompile") => cmd_decompile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("strip") => cmd_strip(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("similarity") => cmd_similarity(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown command `{other}` (try `asteria-cli help`)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "asteria-cli — cross-platform binary code similarity toolkit\n\n\
+         commands:\n\
+         \x20 compile   <src.mc> --arch x86|x64|arm|ppc -o <out.sbf>\n\
+         \x20 info      <bin.sbf>\n\
+         \x20 disasm    <bin.sbf> [--function NAME]\n\
+         \x20 decompile <bin.sbf> [--function NAME]\n\
+         \x20 run       <bin.sbf> <function> [int args…]\n\
+         \x20 strip     <bin.sbf> -o <out.sbf>\n\
+         \x20 train     -o <model.bin> [--packages N] [--epochs E]\n\
+         \x20 similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]"
+    );
+}
+
+/// Fetches the value following a `--flag` (or `-o`) option.
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+/// Positional arguments: everything not part of a flag pair.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with('-') {
+            // Flags take a value except boolean-style ones (none today).
+            skip = i + 1 < args.len();
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn load_binary(path: &str) -> Result<Binary, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Binary::load(bytes.as_slice()).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let src_path = pos
+        .first()
+        .ok_or("usage: compile <src.mc> --arch A -o OUT")?;
+    let arch_name = opt_value(args, "--arch").unwrap_or("x86");
+    let arch =
+        Arch::from_name(arch_name).ok_or_else(|| format!("unknown architecture {arch_name}"))?;
+    let out = opt_value(args, "-o")
+        .or(opt_value(args, "--out"))
+        .ok_or("missing -o OUT")?;
+    let src = fs::read_to_string(src_path).map_err(|e| format!("{src_path}: {e}"))?;
+    let program = asteria::lang::parse(&src).map_err(|e| e.to_string())?;
+    let binary = compile_program(&program, arch).map_err(|e| e.to_string())?;
+    let mut buf = Vec::new();
+    binary.save(&mut buf).map_err(|e| e.to_string())?;
+    fs::write(out, buf).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "compiled {} functions for {} → {} ({} bytes of code)",
+        binary.function_indices().len(),
+        arch,
+        out,
+        binary.code_size()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos.first().ok_or("usage: info <bin.sbf>")?;
+    let b = load_binary(path)?;
+    println!("{b}");
+    println!(
+        "{:<6} {:<10} {:<28} {:>8} {:>7} {:>7}",
+        "idx", "kind", "name", "offset", "bytes", "params"
+    );
+    for (i, s) in b.symbols.iter().enumerate() {
+        println!(
+            "{:<6} {:<10} {:<28} {:>8x} {:>7} {:>7}",
+            i,
+            match s.kind {
+                SymbolKind::Function => "function",
+                SymbolKind::External => "external",
+            },
+            s.display_name(),
+            s.offset,
+            s.code.len(),
+            s.param_count
+        );
+    }
+    Ok(())
+}
+
+fn resolve_function(b: &Binary, name: Option<&str>) -> Result<Vec<usize>, String> {
+    match name {
+        Some(n) => {
+            let idx = b
+                .symbols
+                .iter()
+                .position(|s| s.display_name() == n)
+                .ok_or_else(|| format!("no function named {n}"))?;
+            Ok(vec![idx])
+        }
+        None => Ok(b.function_indices()),
+    }
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos
+        .first()
+        .ok_or("usage: disasm <bin.sbf> [--function NAME]")?;
+    let b = load_binary(path)?;
+    for idx in resolve_function(&b, opt_value(args, "--function"))? {
+        let s = &b.symbols[idx];
+        if s.kind != SymbolKind::Function {
+            continue;
+        }
+        println!("{} <{}>:", b.arch, s.display_name());
+        let insts = decode_function(&s.code, b.arch).map_err(|e| e.to_string())?;
+        for (i, inst) in insts.iter().enumerate() {
+            println!("  {i:>4}: {inst}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_decompile(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos
+        .first()
+        .ok_or("usage: decompile <bin.sbf> [--function NAME]")?;
+    let b = load_binary(path)?;
+    for idx in resolve_function(&b, opt_value(args, "--function"))? {
+        if b.symbols[idx].kind != SymbolKind::Function {
+            continue;
+        }
+        let f = decompile_function(&b, idx).map_err(|e| e.to_string())?;
+        print!("{}", render_function(&f, &b));
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    if pos.len() < 2 {
+        return Err("usage: run <bin.sbf> <function> [int args…]".into());
+    }
+    let b = load_binary(pos[0])?;
+    let sym = b
+        .symbols
+        .iter()
+        .position(|s| s.display_name() == pos[1])
+        .ok_or_else(|| format!("no function named {}", pos[1]))?;
+    let call_args: Result<Vec<i64>, _> = pos[2..].iter().map(|a| a.parse::<i64>()).collect();
+    let call_args = call_args.map_err(|e| format!("bad argument: {e}"))?;
+    let result = Vm::new(&b)
+        .call(sym, &call_args)
+        .map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn cmd_strip(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let path = pos.first().ok_or("usage: strip <bin.sbf> -o OUT")?;
+    let out = opt_value(args, "-o")
+        .or(opt_value(args, "--out"))
+        .ok_or("missing -o OUT")?;
+    let mut b = load_binary(path)?;
+    b.strip();
+    let mut buf = Vec::new();
+    b.save(&mut buf).map_err(|e| e.to_string())?;
+    fs::write(out, buf).map_err(|e| format!("{out}: {e}"))?;
+    println!("stripped → {out}");
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = opt_value(args, "-o")
+        .or(opt_value(args, "--out"))
+        .ok_or("missing -o MODEL")?;
+    let packages: usize = opt_value(args, "--packages")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --packages")?;
+    let epochs: usize = opt_value(args, "--epochs")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --epochs")?;
+    eprintln!("building corpus ({packages} packages × 4 ISAs)…");
+    let corpus = build_corpus(&CorpusConfig {
+        packages,
+        ..Default::default()
+    });
+    let pairs = build_pairs(&corpus, &PairConfig::default());
+    let (train_set, _) = pairs.split(0.8, 5);
+    eprintln!("training on {} pairs for {epochs} epochs…", train_set.len());
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    let stats = train(
+        &mut model,
+        &to_train_pairs(&corpus, &train_set),
+        &TrainOptions {
+            epochs,
+            seed: 7,
+            verbose: true,
+        },
+        None,
+    );
+    fs::write(out, model.snapshot()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "saved model to {out} (final loss {:.4})",
+        stats.last().map(|s| s.mean_loss).unwrap_or(f32::NAN)
+    );
+    Ok(())
+}
+
+fn parse_target(spec: &str) -> Result<(&str, &str), String> {
+    spec.split_once(':')
+        .ok_or_else(|| format!("expected <file.sbf>:<function>, got {spec}"))
+}
+
+fn cmd_similarity(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    if pos.len() < 2 {
+        return Err("usage: similarity <a.sbf>:<func> <b.sbf>:<func> [--model M]".into());
+    }
+    let (path_a, func_a) = parse_target(pos[0])?;
+    let (path_b, func_b) = parse_target(pos[1])?;
+    let ba = load_binary(path_a)?;
+    let bb = load_binary(path_b)?;
+    let sym_a = ba
+        .symbols
+        .iter()
+        .position(|s| s.display_name() == func_a)
+        .ok_or_else(|| format!("{path_a}: no function {func_a}"))?;
+    let sym_b = bb
+        .symbols
+        .iter()
+        .position(|s| s.display_name() == func_b)
+        .ok_or_else(|| format!("{path_b}: no function {func_b}"))?;
+
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    match opt_value(args, "--model") {
+        Some(m) => {
+            let bytes = fs::read(m).map_err(|e| format!("{m}: {e}"))?;
+            model
+                .load(bytes.as_slice())
+                .map_err(|e| format!("{m}: {e}"))?;
+        }
+        None => eprintln!("note: scoring with untrained weights (pass --model for a trained one)"),
+    }
+
+    let fa = extract_function(&ba, sym_a, DEFAULT_INLINE_BETA).map_err(|e| e.to_string())?;
+    let fb = extract_function(&bb, sym_b, DEFAULT_INLINE_BETA).map_err(|e| e.to_string())?;
+    let ea = asteria::core::encode_function(&model, &fa);
+    let eb = asteria::core::encode_function(&model, &fb);
+    let m = model.similarity_from_encodings(&ea.vector, &eb.vector);
+    let f = function_similarity(&model, &ea, &eb);
+    println!(
+        "{func_a} [{}; {} nodes]  vs  {func_b} [{}; {} nodes]",
+        ba.arch, fa.ast_size, bb.arch, fb.ast_size
+    );
+    println!("AST similarity M(T1,T2)       = {m:.4}");
+    println!(
+        "calibrated similarity F(F1,F2) = {f:.4}  (callees {} vs {})",
+        fa.callee_count, fb.callee_count
+    );
+    Ok(())
+}

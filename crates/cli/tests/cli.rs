@@ -1,0 +1,171 @@
+//! End-to-end tests of the command-line tool, driving the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_asteria-cli"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("asteria_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+const DEMO: &str = "int double_it(int x) { return x * 2; }\n\
+                    int saturate(int x) { if (x > 100) { return 100; } return x; }\n";
+
+fn write_demo() -> PathBuf {
+    let src = temp_path("demo.mc");
+    std::fs::write(&src, DEMO).expect("write source");
+    src
+}
+
+#[test]
+fn compile_info_run_roundtrip() {
+    let src = write_demo();
+    let out = temp_path("demo_arm.sbf");
+
+    let s = cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "--arch",
+            "arm",
+            "-o",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(s.status.success(), "{}", String::from_utf8_lossy(&s.stderr));
+
+    let info = cli()
+        .args(["info", out.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("double_it"), "{text}");
+    assert!(text.contains("saturate"), "{text}");
+
+    let run = cli()
+        .args(["run", out.to_str().unwrap(), "double_it", "21"])
+        .output()
+        .expect("spawn");
+    assert!(run.status.success());
+    assert_eq!(String::from_utf8_lossy(&run.stdout).trim(), "42");
+
+    let run2 = cli()
+        .args(["run", out.to_str().unwrap(), "saturate", "1000"])
+        .output()
+        .expect("spawn");
+    assert_eq!(String::from_utf8_lossy(&run2.stdout).trim(), "100");
+}
+
+#[test]
+fn decompile_and_disasm_render() {
+    let src = write_demo();
+    let out = temp_path("demo_x64.sbf");
+    assert!(cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "--arch",
+            "x64",
+            "-o",
+            out.to_str().unwrap()
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+
+    let dec = cli()
+        .args(["decompile", out.to_str().unwrap(), "--function", "saturate"])
+        .output()
+        .expect("spawn");
+    let text = String::from_utf8_lossy(&dec.stdout);
+    assert!(text.contains("int saturate(int a0)"), "{text}");
+    assert!(text.contains("return 100;"), "{text}");
+
+    let dis = cli()
+        .args(["disasm", out.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    let text = String::from_utf8_lossy(&dis.stdout);
+    assert!(text.contains("x64 <double_it>:"), "{text}");
+    assert!(text.contains("ret"), "{text}");
+}
+
+#[test]
+fn strip_removes_names_and_similarity_scores() {
+    let src = write_demo();
+    let arm = temp_path("sim_arm.sbf");
+    let x86 = temp_path("sim_x86.sbf");
+    for (arch, out) in [("arm", &arm), ("x86", &x86)] {
+        assert!(cli()
+            .args([
+                "compile",
+                src.to_str().unwrap(),
+                "--arch",
+                arch,
+                "-o",
+                out.to_str().unwrap()
+            ])
+            .status()
+            .expect("spawn")
+            .success());
+    }
+
+    let stripped = temp_path("stripped.sbf");
+    assert!(cli()
+        .args([
+            "strip",
+            arm.to_str().unwrap(),
+            "-o",
+            stripped.to_str().unwrap()
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let info = cli()
+        .args(["info", stripped.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("sub_"), "{text}");
+    assert!(!text.contains("double_it"), "{text}");
+
+    let sim = cli()
+        .args([
+            "similarity",
+            &format!("{}:saturate", arm.display()),
+            &format!("{}:saturate", x86.display()),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+    let text = String::from_utf8_lossy(&sim.stdout);
+    assert!(text.contains("calibrated similarity"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_gracefully() {
+    let out = cli().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = cli()
+        .args(["info", "/nonexistent/file.sbf"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

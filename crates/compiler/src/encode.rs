@@ -1,0 +1,846 @@
+//! Per-architecture binary instruction encodings.
+//!
+//! Each ISA serializes the canonical [`MInst`] form differently, so the
+//! disassembler genuinely has four decoders:
+//!
+//! - **x86**: variable-width, single opcode byte (`tag + 0x10`),
+//!   little-endian immediates — instructions are 1–10 bytes;
+//! - **x64**: variable-width with a `0x48` prefix byte and a shifted opcode
+//!   page (`tag + 0x50`);
+//! - **ARM**: fixed 8-byte words `[op, f1, f2, f3, imm32le]`;
+//! - **PPC**: fixed 8-byte words with a scrambled opcode map, *reversed*
+//!   register fields and a **big-endian** immediate.
+//!
+//! In the canonical form branch targets are instruction indices; encoded
+//! instructions carry byte offsets. [`encode_function`] and
+//! [`decode_function`] perform the translation in both directions.
+
+use std::fmt;
+
+use crate::isa::{AluOp, Arch, CmpOp, MInst, Mem, Reg, UnAluOp};
+
+/// Errors produced while encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit the fixed-width instruction format.
+    ImmOverflow {
+        /// The offending value.
+        value: i64,
+        /// Architecture whose format was exceeded.
+        arch: Arch,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOverflow { value, arch } => {
+                write!(f, "immediate {value} does not fit {arch} encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Opcode byte not valid for this architecture.
+    BadOpcode {
+        /// Byte offset of the instruction.
+        offset: usize,
+        /// The opcode byte.
+        opcode: u8,
+    },
+    /// The byte stream ended mid-instruction.
+    Truncated {
+        /// Byte offset of the instruction.
+        offset: usize,
+    },
+    /// A branch lands between instruction boundaries.
+    MisalignedTarget {
+        /// The target byte offset.
+        target: u32,
+    },
+    /// A field held an out-of-range value (register, ALU selector, …).
+    BadField {
+        /// Byte offset of the instruction.
+        offset: usize,
+        /// Field description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { offset, opcode } => {
+                write!(f, "bad opcode {opcode:#04x} at byte {offset}")
+            }
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated instruction at byte {offset}")
+            }
+            DecodeError::MisalignedTarget { target } => {
+                write!(f, "branch target {target} is not an instruction boundary")
+            }
+            DecodeError::BadField { offset, what } => {
+                write!(f, "bad {what} field at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Shape tags shared by all encodings (the per-arch opcode is derived from
+/// the tag differently per ISA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Tag {
+    MovImm32 = 0,
+    MovImm64 = 1,
+    Mov = 2,
+    LoadStr = 3,
+    Load = 4,
+    Store = 5,
+    LoadIdx = 6,
+    StoreIdx = 7,
+    Alu3 = 8,
+    Alu2 = 9,
+    Alu2Mem = 10,
+    UnAlu = 11,
+    SetCc = 12,
+    CSel = 13,
+    Brnz = 14,
+    Jmp = 15,
+    Push = 16,
+    Call = 17,
+    Ret = 18,
+    Nop = 19,
+}
+
+const TAG_COUNT: u8 = 20;
+
+impl Tag {
+    fn from_u8(v: u8) -> Option<Tag> {
+        if v < TAG_COUNT {
+            // Safe: repr(u8) with contiguous discriminants 0..TAG_COUNT.
+            Some(match v {
+                0 => Tag::MovImm32,
+                1 => Tag::MovImm64,
+                2 => Tag::Mov,
+                3 => Tag::LoadStr,
+                4 => Tag::Load,
+                5 => Tag::Store,
+                6 => Tag::LoadIdx,
+                7 => Tag::StoreIdx,
+                8 => Tag::Alu3,
+                9 => Tag::Alu2,
+                10 => Tag::Alu2Mem,
+                11 => Tag::UnAlu,
+                12 => Tag::SetCc,
+                13 => Tag::CSel,
+                14 => Tag::Brnz,
+                15 => Tag::Jmp,
+                16 => Tag::Push,
+                17 => Tag::Call,
+                18 => Tag::Ret,
+                19 => Tag::Nop,
+                _ => unreachable!(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+fn ppc_opcode(tag: Tag) -> u8 {
+    ((tag as u8).wrapping_mul(7).wrapping_add(3) & 0x7f) | 0x80
+}
+
+fn ppc_tag(opcode: u8) -> Option<Tag> {
+    (0..TAG_COUNT)
+        .find(|t| ppc_opcode(Tag::from_u8(*t).unwrap()) == opcode)
+        .and_then(Tag::from_u8)
+}
+
+fn mem_kind(m: Mem) -> (u8, u32) {
+    match m {
+        Mem::Frame(s) => (0, s),
+        Mem::Global(s) => (1, s),
+        Mem::Arg(s) => (2, s),
+    }
+}
+
+fn mem_from(kind: u8, slot: u32, offset: usize) -> Result<Mem, DecodeError> {
+    Ok(match kind {
+        0 => Mem::Frame(slot),
+        1 => Mem::Global(slot),
+        2 => Mem::Arg(slot),
+        _ => {
+            return Err(DecodeError::BadField {
+                offset,
+                what: "memory kind",
+            })
+        }
+    })
+}
+
+fn alu_index(op: AluOp) -> u8 {
+    AluOp::ALL
+        .iter()
+        .position(|o| *o == op)
+        .expect("alu op in table") as u8
+}
+
+fn alu_from(i: u8, offset: usize) -> Result<AluOp, DecodeError> {
+    AluOp::ALL
+        .get(i as usize)
+        .copied()
+        .ok_or(DecodeError::BadField {
+            offset,
+            what: "alu op",
+        })
+}
+
+fn unalu_index(op: UnAluOp) -> u8 {
+    match op {
+        UnAluOp::Neg => 0,
+        UnAluOp::Not => 1,
+        UnAluOp::BitNot => 2,
+    }
+}
+
+fn unalu_from(i: u8, offset: usize) -> Result<UnAluOp, DecodeError> {
+    Ok(match i {
+        0 => UnAluOp::Neg,
+        1 => UnAluOp::Not,
+        2 => UnAluOp::BitNot,
+        _ => {
+            return Err(DecodeError::BadField {
+                offset,
+                what: "unary alu op",
+            })
+        }
+    })
+}
+
+fn cmp_index(op: CmpOp) -> u8 {
+    CmpOp::ALL
+        .iter()
+        .position(|o| *o == op)
+        .expect("cmp op in table") as u8
+}
+
+fn cmp_from(i: u8, offset: usize) -> Result<CmpOp, DecodeError> {
+    CmpOp::ALL
+        .get(i as usize)
+        .copied()
+        .ok_or(DecodeError::BadField {
+            offset,
+            what: "cmp op",
+        })
+}
+
+/// The `(tag, f1, f2, f3, imm)` field tuple all encodings serialize.
+struct Fields {
+    tag: Tag,
+    f1: u8,
+    f2: u8,
+    f3: u8,
+    imm: i64,
+}
+
+/// Deconstructs an instruction into encoding fields. `imm` carries branch
+/// byte-targets, slots, ALU selectors or immediates depending on the tag.
+fn to_fields(inst: &MInst) -> Fields {
+    let f = |tag, f1, f2, f3, imm| Fields {
+        tag,
+        f1,
+        f2,
+        f3,
+        imm,
+    };
+    match inst {
+        MInst::MovImm(rd, v) => {
+            if i32::try_from(*v).is_ok() {
+                f(Tag::MovImm32, rd.0, 0, 0, *v)
+            } else {
+                f(Tag::MovImm64, rd.0, 0, 0, *v)
+            }
+        }
+        MInst::Mov(rd, rs) => f(Tag::Mov, rd.0, rs.0, 0, 0),
+        MInst::LoadStr(rd, sid) => f(Tag::LoadStr, rd.0, 0, 0, *sid as i64),
+        MInst::Load(rd, m) => {
+            let (k, s) = mem_kind(*m);
+            f(Tag::Load, rd.0, k, 0, s as i64)
+        }
+        MInst::Store(m, rs) => {
+            let (k, s) = mem_kind(*m);
+            f(Tag::Store, rs.0, k, 0, s as i64)
+        }
+        MInst::LoadIdx { rd, base, idx, len } => f(
+            Tag::LoadIdx,
+            rd.0,
+            idx.0,
+            0,
+            ((*base as i64) << 20) | *len as i64,
+        ),
+        MInst::StoreIdx { rs, base, idx, len } => f(
+            Tag::StoreIdx,
+            rs.0,
+            idx.0,
+            0,
+            ((*base as i64) << 20) | *len as i64,
+        ),
+        MInst::Alu3(op, rd, ra, rb) => f(Tag::Alu3, rd.0, ra.0, rb.0, alu_index(*op) as i64),
+        MInst::Alu2(op, rd, rs) => f(Tag::Alu2, rd.0, rs.0, 0, alu_index(*op) as i64),
+        MInst::Alu2Mem(op, rd, m) => {
+            let (k, s) = mem_kind(*m);
+            f(Tag::Alu2Mem, rd.0, k, alu_index(*op), s as i64)
+        }
+        MInst::UnAlu(op, rd, rs) => f(Tag::UnAlu, rd.0, rs.0, 0, unalu_index(*op) as i64),
+        MInst::SetCc(cc, rd, ra, rb) => f(Tag::SetCc, rd.0, ra.0, rb.0, cmp_index(*cc) as i64),
+        MInst::CSel { rd, rc, ra, rb } => f(Tag::CSel, rd.0, rc.0, ra.0, rb.0 as i64),
+        MInst::Brnz(rc, t) => f(Tag::Brnz, rc.0, 0, 0, *t as i64),
+        MInst::Jmp(t) => f(Tag::Jmp, 0, 0, 0, *t as i64),
+        MInst::Push(r) => f(Tag::Push, r.0, 0, 0, 0),
+        MInst::Call { sym, argc } => f(Tag::Call, *argc, 0, 0, *sym as i64),
+        MInst::Ret => f(Tag::Ret, 0, 0, 0, 0),
+        MInst::Nop => f(Tag::Nop, 0, 0, 0, 0),
+    }
+}
+
+/// Rebuilds an instruction from decoded fields.
+fn from_fields(fl: &Fields, offset: usize) -> Result<MInst, DecodeError> {
+    Ok(match fl.tag {
+        Tag::MovImm32 | Tag::MovImm64 => MInst::MovImm(Reg(fl.f1), fl.imm),
+        Tag::Mov => MInst::Mov(Reg(fl.f1), Reg(fl.f2)),
+        Tag::LoadStr => MInst::LoadStr(Reg(fl.f1), fl.imm as u32),
+        Tag::Load => MInst::Load(Reg(fl.f1), mem_from(fl.f2, fl.imm as u32, offset)?),
+        Tag::Store => MInst::Store(mem_from(fl.f2, fl.imm as u32, offset)?, Reg(fl.f1)),
+        Tag::LoadIdx => MInst::LoadIdx {
+            rd: Reg(fl.f1),
+            idx: Reg(fl.f2),
+            base: (fl.imm >> 20) as u32,
+            len: (fl.imm & 0xfffff) as u32,
+        },
+        Tag::StoreIdx => MInst::StoreIdx {
+            rs: Reg(fl.f1),
+            idx: Reg(fl.f2),
+            base: (fl.imm >> 20) as u32,
+            len: (fl.imm & 0xfffff) as u32,
+        },
+        Tag::Alu3 => MInst::Alu3(
+            alu_from(fl.imm as u8, offset)?,
+            Reg(fl.f1),
+            Reg(fl.f2),
+            Reg(fl.f3),
+        ),
+        Tag::Alu2 => MInst::Alu2(alu_from(fl.imm as u8, offset)?, Reg(fl.f1), Reg(fl.f2)),
+        Tag::Alu2Mem => MInst::Alu2Mem(
+            alu_from(fl.f3, offset)?,
+            Reg(fl.f1),
+            mem_from(fl.f2, fl.imm as u32, offset)?,
+        ),
+        Tag::UnAlu => MInst::UnAlu(unalu_from(fl.imm as u8, offset)?, Reg(fl.f1), Reg(fl.f2)),
+        Tag::SetCc => MInst::SetCc(
+            cmp_from(fl.imm as u8, offset)?,
+            Reg(fl.f1),
+            Reg(fl.f2),
+            Reg(fl.f3),
+        ),
+        Tag::CSel => MInst::CSel {
+            rd: Reg(fl.f1),
+            rc: Reg(fl.f2),
+            ra: Reg(fl.f3),
+            rb: Reg(fl.imm as u8),
+        },
+        Tag::Brnz => MInst::Brnz(Reg(fl.f1), fl.imm as u32),
+        Tag::Jmp => MInst::Jmp(fl.imm as u32),
+        Tag::Push => MInst::Push(Reg(fl.f1)),
+        Tag::Call => MInst::Call {
+            sym: fl.imm as u32,
+            argc: fl.f1,
+        },
+        Tag::Ret => MInst::Ret,
+        Tag::Nop => MInst::Nop,
+    })
+}
+
+/// Byte length of one encoded instruction on the given architecture.
+fn encoded_len(inst: &MInst, arch: Arch) -> usize {
+    match arch {
+        Arch::Arm | Arch::Ppc => 8,
+        Arch::X86 | Arch::X64 => {
+            let fl = to_fields(inst);
+            let body = match fl.tag {
+                Tag::MovImm64 => 1 + 1 + 8,
+                Tag::MovImm32 => 1 + 1 + 4,
+                Tag::Mov | Tag::Push | Tag::Ret | Tag::Nop => {
+                    1 + match fl.tag {
+                        Tag::Mov => 2,
+                        Tag::Push => 1,
+                        _ => 0,
+                    }
+                }
+                Tag::LoadStr => 1 + 1 + 4,
+                Tag::Jmp => 1 + 4,
+                Tag::Load | Tag::Store | Tag::Alu2Mem => 1 + 3 + 4,
+                Tag::LoadIdx | Tag::StoreIdx => 1 + 2 + 8,
+                Tag::Alu3 | Tag::SetCc | Tag::CSel => 1 + 4,
+                Tag::Alu2 | Tag::UnAlu => 1 + 3,
+                Tag::Brnz => 1 + 1 + 4,
+                Tag::Call => 1 + 1 + 4,
+            };
+            if arch == Arch::X64 {
+                body + 1
+            } else {
+                body
+            }
+        }
+    }
+}
+
+fn check_imm32(v: i64, arch: Arch) -> Result<i32, EncodeError> {
+    i32::try_from(v).map_err(|_| EncodeError::ImmOverflow { value: v, arch })
+}
+
+/// Encodes a function body. Branch targets in `insts` are instruction
+/// indices; in the output they are byte offsets.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::ImmOverflow`] when a constant exceeds a
+/// fixed-width format (ARM/PPC carry 32-bit immediates).
+pub fn encode_function(insts: &[MInst], arch: Arch) -> Result<Vec<u8>, EncodeError> {
+    // Pass 1: byte offset of every instruction.
+    let mut offsets = Vec::with_capacity(insts.len() + 1);
+    let mut pos = 0usize;
+    for inst in insts {
+        offsets.push(pos as u32);
+        pos += encoded_len(inst, arch);
+    }
+    offsets.push(pos as u32);
+
+    // Pass 2: emit with byte-offset branch targets.
+    let mut out = Vec::with_capacity(pos);
+    for inst in insts {
+        let mut fl = to_fields(inst);
+        if let Some(t) = inst.branch_target() {
+            fl.imm = offsets[t as usize] as i64;
+        }
+        match arch {
+            Arch::Arm => {
+                let imm = check_imm32(fl.imm, arch)?;
+                out.push(fl.tag as u8 + 0x20);
+                out.push(fl.f1);
+                out.push(fl.f2);
+                out.push(fl.f3);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+            Arch::Ppc => {
+                let imm = check_imm32(fl.imm, arch)?;
+                out.push(ppc_opcode(fl.tag));
+                out.push(fl.f3);
+                out.push(fl.f2);
+                out.push(fl.f1);
+                out.extend_from_slice(&imm.to_be_bytes());
+            }
+            Arch::X86 | Arch::X64 => {
+                if arch == Arch::X64 {
+                    out.push(0x48);
+                }
+                let page = if arch == Arch::X64 { 0x50 } else { 0x10 };
+                out.push(fl.tag as u8 + page);
+                match fl.tag {
+                    Tag::MovImm64 => {
+                        out.push(fl.f1);
+                        out.extend_from_slice(&fl.imm.to_le_bytes());
+                    }
+                    Tag::MovImm32 => {
+                        out.push(fl.f1);
+                        out.extend_from_slice(&(fl.imm as i32).to_le_bytes());
+                    }
+                    Tag::Mov => {
+                        out.push(fl.f1);
+                        out.push(fl.f2);
+                    }
+                    Tag::Push => out.push(fl.f1),
+                    Tag::Ret | Tag::Nop => {}
+                    Tag::LoadStr | Tag::Jmp => {
+                        out.extend_from_slice(&(fl.imm as u32).to_le_bytes());
+                        if fl.tag == Tag::LoadStr {
+                            // rd rides in front of the imm for LoadStr.
+                            let at = out.len() - 4;
+                            out.insert(at, fl.f1);
+                        }
+                    }
+                    Tag::Load | Tag::Store | Tag::Alu2Mem => {
+                        out.push(fl.f1);
+                        out.push(fl.f2);
+                        out.push(fl.f3);
+                        out.extend_from_slice(&(fl.imm as u32).to_le_bytes());
+                    }
+                    Tag::LoadIdx | Tag::StoreIdx => {
+                        out.push(fl.f1);
+                        out.push(fl.f2);
+                        out.extend_from_slice(&fl.imm.to_le_bytes());
+                    }
+                    Tag::Alu3 | Tag::SetCc | Tag::CSel => {
+                        out.push(fl.f1);
+                        out.push(fl.f2);
+                        out.push(fl.f3);
+                        out.push(fl.imm as u8);
+                    }
+                    Tag::Alu2 | Tag::UnAlu => {
+                        out.push(fl.f1);
+                        out.push(fl.f2);
+                        out.push(fl.imm as u8);
+                    }
+                    Tag::Brnz => {
+                        out.push(fl.f1);
+                        out.extend_from_slice(&(fl.imm as u32).to_le_bytes());
+                    }
+                    Tag::Call => {
+                        out.push(fl.f1);
+                        out.extend_from_slice(&(fl.imm as u32).to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn take<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    start: usize,
+) -> Result<&'a [u8], DecodeError> {
+    if *pos + n > bytes.len() {
+        return Err(DecodeError::Truncated { offset: start });
+    }
+    let s = &bytes[*pos..*pos + n];
+    *pos += n;
+    Ok(s)
+}
+
+fn read_u32le(bytes: &[u8], pos: &mut usize, start: usize) -> Result<u32, DecodeError> {
+    let s = take(bytes, pos, 4, start)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Decodes one instruction at `pos`, returning fields and advancing `pos`.
+fn decode_one(bytes: &[u8], pos: &mut usize, arch: Arch) -> Result<Fields, DecodeError> {
+    let start = *pos;
+    match arch {
+        Arch::Arm => {
+            let s = take(bytes, pos, 8, start)?;
+            let tag =
+                s[0].checked_sub(0x20)
+                    .and_then(Tag::from_u8)
+                    .ok_or(DecodeError::BadOpcode {
+                        offset: start,
+                        opcode: s[0],
+                    })?;
+            let imm = i32::from_le_bytes([s[4], s[5], s[6], s[7]]) as i64;
+            Ok(Fields {
+                tag,
+                f1: s[1],
+                f2: s[2],
+                f3: s[3],
+                imm,
+            })
+        }
+        Arch::Ppc => {
+            let s = take(bytes, pos, 8, start)?;
+            let tag = ppc_tag(s[0]).ok_or(DecodeError::BadOpcode {
+                offset: start,
+                opcode: s[0],
+            })?;
+            let imm = i32::from_be_bytes([s[4], s[5], s[6], s[7]]) as i64;
+            Ok(Fields {
+                tag,
+                f1: s[3],
+                f2: s[2],
+                f3: s[1],
+                imm,
+            })
+        }
+        Arch::X86 | Arch::X64 => {
+            if arch == Arch::X64 {
+                let p = take(bytes, pos, 1, start)?;
+                if p[0] != 0x48 {
+                    return Err(DecodeError::BadOpcode {
+                        offset: start,
+                        opcode: p[0],
+                    });
+                }
+            }
+            let page = if arch == Arch::X64 { 0x50 } else { 0x10 };
+            let op = take(bytes, pos, 1, start)?[0];
+            let tag =
+                op.checked_sub(page)
+                    .and_then(Tag::from_u8)
+                    .ok_or(DecodeError::BadOpcode {
+                        offset: start,
+                        opcode: op,
+                    })?;
+            let mut fl = Fields {
+                tag,
+                f1: 0,
+                f2: 0,
+                f3: 0,
+                imm: 0,
+            };
+            match tag {
+                Tag::MovImm64 => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    let s = take(bytes, pos, 8, start)?;
+                    fl.imm = i64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+                }
+                Tag::MovImm32 => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    let s = take(bytes, pos, 4, start)?;
+                    fl.imm = i32::from_le_bytes([s[0], s[1], s[2], s[3]]) as i64;
+                }
+                Tag::Mov => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.f2 = take(bytes, pos, 1, start)?[0];
+                }
+                Tag::Push => fl.f1 = take(bytes, pos, 1, start)?[0],
+                Tag::Ret | Tag::Nop => {}
+                Tag::LoadStr => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.imm = read_u32le(bytes, pos, start)? as i64;
+                }
+                Tag::Jmp => fl.imm = read_u32le(bytes, pos, start)? as i64,
+                Tag::Load | Tag::Store | Tag::Alu2Mem => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.f2 = take(bytes, pos, 1, start)?[0];
+                    fl.f3 = take(bytes, pos, 1, start)?[0];
+                    fl.imm = read_u32le(bytes, pos, start)? as i64;
+                }
+                Tag::LoadIdx | Tag::StoreIdx => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.f2 = take(bytes, pos, 1, start)?[0];
+                    let s = take(bytes, pos, 8, start)?;
+                    fl.imm = i64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+                }
+                Tag::Alu3 | Tag::SetCc | Tag::CSel => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.f2 = take(bytes, pos, 1, start)?[0];
+                    fl.f3 = take(bytes, pos, 1, start)?[0];
+                    fl.imm = take(bytes, pos, 1, start)?[0] as i64;
+                }
+                Tag::Alu2 | Tag::UnAlu => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.f2 = take(bytes, pos, 1, start)?[0];
+                    fl.imm = take(bytes, pos, 1, start)?[0] as i64;
+                }
+                Tag::Brnz => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.imm = read_u32le(bytes, pos, start)? as i64;
+                }
+                Tag::Call => {
+                    fl.f1 = take(bytes, pos, 1, start)?[0];
+                    fl.imm = read_u32le(bytes, pos, start)? as i64;
+                }
+            }
+            Ok(fl)
+        }
+    }
+}
+
+/// Decodes a whole function body back to canonical form (branch targets
+/// converted from byte offsets to instruction indices).
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode_function(bytes: &[u8], arch: Arch) -> Result<Vec<MInst>, DecodeError> {
+    let mut insts = Vec::new();
+    let mut offsets = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let fl = decode_one(bytes, &mut pos, arch)?;
+        offsets.push(start as u32);
+        insts.push(from_fields(&fl, start)?);
+    }
+    // Byte offsets → instruction indices.
+    for inst in &mut insts {
+        match inst {
+            MInst::Jmp(t) | MInst::Brnz(_, t) => {
+                let idx = offsets
+                    .binary_search(t)
+                    .map_err(|_| DecodeError::MisalignedTarget { target: *t })?;
+                *t = idx as u32;
+            }
+            _ => {}
+        }
+    }
+    Ok(insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_insts() -> Vec<MInst> {
+        vec![
+            MInst::MovImm(Reg(0), 42),
+            MInst::MovImm(Reg(1), i64::MIN / 3),
+            MInst::Mov(Reg(2), Reg(0)),
+            MInst::LoadStr(Reg(0), 7),
+            MInst::Load(Reg(1), Mem::Frame(12)),
+            MInst::Store(Mem::Global(3), Reg(1)),
+            MInst::Load(Reg(2), Mem::Arg(1)),
+            MInst::LoadIdx {
+                rd: Reg(0),
+                base: 5,
+                idx: Reg(1),
+                len: 16,
+            },
+            MInst::StoreIdx {
+                rs: Reg(2),
+                base: 5,
+                idx: Reg(1),
+                len: 16,
+            },
+            MInst::Alu3(AluOp::Mul, Reg(0), Reg(1), Reg(2)),
+            MInst::Alu2(AluOp::Xor, Reg(0), Reg(1)),
+            MInst::Alu2Mem(AluOp::Add, Reg(0), Mem::Frame(9)),
+            MInst::UnAlu(UnAluOp::BitNot, Reg(0), Reg(1)),
+            MInst::SetCc(CmpOp::Le, Reg(0), Reg(1), Reg(2)),
+            MInst::CSel {
+                rd: Reg(0),
+                rc: Reg(1),
+                ra: Reg(2),
+                rb: Reg(3),
+            },
+            MInst::Brnz(Reg(0), 0),
+            MInst::Push(Reg(1)),
+            MInst::Call { sym: 4, argc: 2 },
+            MInst::Jmp(19),
+            MInst::Ret,
+            MInst::Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_instructions_all_arches() {
+        for arch in Arch::ALL {
+            let insts: Vec<MInst> = sample_insts()
+                .into_iter()
+                .filter(|i| {
+                    // Fixed-width formats carry 32-bit immediates only.
+                    if matches!(arch, Arch::Arm | Arch::Ppc) {
+                        !matches!(i, MInst::MovImm(_, v) if i32::try_from(*v).is_err())
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            let bytes = encode_function(&insts, arch).unwrap();
+            let decoded = decode_function(&bytes, arch).unwrap();
+            assert_eq!(decoded, insts, "roundtrip failed on {arch}");
+        }
+    }
+
+    #[test]
+    fn fixed_width_is_eight_bytes() {
+        let insts = vec![MInst::Nop, MInst::Ret, MInst::MovImm(Reg(0), 1)];
+        for arch in [Arch::Arm, Arch::Ppc] {
+            let bytes = encode_function(&insts, arch).unwrap();
+            assert_eq!(bytes.len(), 24, "{arch}");
+        }
+    }
+
+    #[test]
+    fn x86_is_variable_width_and_denser_for_simple_code() {
+        let insts = vec![MInst::Ret, MInst::Nop, MInst::Push(Reg(1))];
+        let x86 = encode_function(&insts, Arch::X86).unwrap();
+        let arm = encode_function(&insts, Arch::Arm).unwrap();
+        assert!(x86.len() < arm.len());
+    }
+
+    #[test]
+    fn encodings_differ_across_arches() {
+        let insts = vec![MInst::MovImm(Reg(1), 7), MInst::Ret];
+        let mut images: Vec<Vec<u8>> = Vec::new();
+        for arch in Arch::ALL {
+            images.push(encode_function(&insts, arch).unwrap());
+        }
+        for i in 0..images.len() {
+            for j in i + 1..images.len() {
+                assert_ne!(images[i], images[j], "arch {i} and {j} encode identically");
+            }
+        }
+    }
+
+    #[test]
+    fn big_imm_overflows_fixed_width() {
+        let insts = vec![MInst::MovImm(Reg(0), i64::MAX)];
+        assert!(matches!(
+            encode_function(&insts, Arch::Arm),
+            Err(EncodeError::ImmOverflow { .. })
+        ));
+        assert!(encode_function(&insts, Arch::X86).is_ok());
+    }
+
+    #[test]
+    fn branch_targets_survive_variable_width() {
+        // jmp over a long instruction: byte offsets differ from indices.
+        let insts = vec![
+            MInst::Jmp(2),
+            MInst::MovImm(Reg(0), i64::MAX), // 10 bytes on x86
+            MInst::Ret,
+        ];
+        let bytes = encode_function(&insts, Arch::X86).unwrap();
+        let decoded = decode_function(&bytes, Arch::X86).unwrap();
+        assert_eq!(decoded, insts);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = encode_function(&[MInst::MovImm(Reg(0), 500)], Arch::X86).unwrap();
+        let cut = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            decode_function(cut, Arch::X86),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_errors() {
+        assert!(matches!(
+            decode_function(&[0xff; 8], Arch::Arm),
+            Err(DecodeError::BadOpcode { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_branch_target_errors() {
+        // Craft a jmp into the middle of the following instruction.
+        let insts = vec![MInst::Jmp(1), MInst::MovImm(Reg(0), 1), MInst::Ret];
+        let mut bytes = encode_function(&insts, Arch::X86).unwrap();
+        // Jmp imm starts at byte 1; point it at offset 6 (mid-MovImm).
+        bytes[1..5].copy_from_slice(&6u32.to_le_bytes());
+        assert!(matches!(
+            decode_function(&bytes, Arch::X86),
+            Err(DecodeError::MisalignedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn ppc_immediates_are_big_endian() {
+        let bytes = encode_function(&[MInst::MovImm(Reg(0), 1)], Arch::Ppc).unwrap();
+        assert_eq!(&bytes[4..8], &[0, 0, 0, 1]);
+        let arm = encode_function(&[MInst::MovImm(Reg(0), 1)], Arch::Arm).unwrap();
+        assert_eq!(&arm[4..8], &[1, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Binary-level virtual machine.
+//!
+//! Executes [`Binary`] images instruction by instruction, honouring each
+//! architecture's calling convention. Used by the differential test suite
+//! to prove that *compile → encode → decode → execute* preserves the MiniC
+//! reference semantics on every ISA — the property that makes homologous
+//! cross-architecture functions genuinely semantically equivalent, which is
+//! the premise of the paper's similarity task.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use asteria_lang::interp::{eval_binop, eval_unop, external_call_result, wrap_index};
+use asteria_lang::{BinOp, UnOp};
+
+use crate::encode::{decode_function, DecodeError};
+use crate::isa::{AluOp, MInst, Mem, UnAluOp};
+use crate::sbf::{Binary, SymbolKind};
+
+/// Errors produced by the VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The step budget was exhausted.
+    StepLimit,
+    /// Call depth exceeded.
+    RecursionLimit,
+    /// Symbol index out of range.
+    BadSymbol(u32),
+    /// Code failed to decode.
+    Decode(DecodeError),
+    /// Out-of-range frame or argument access.
+    BadAccess {
+        /// Which access failed.
+        what: &'static str,
+        /// Offending index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StepLimit => write!(f, "step budget exhausted"),
+            VmError::RecursionLimit => write!(f, "recursion limit exceeded"),
+            VmError::BadSymbol(s) => write!(f, "bad symbol index {s}"),
+            VmError::Decode(e) => write!(f, "decode failure: {e}"),
+            VmError::BadAccess { what, index } => write!(f, "bad {what} access at {index}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<DecodeError> for VmError {
+    fn from(e: DecodeError) -> Self {
+        VmError::Decode(e)
+    }
+}
+
+fn alu_to_binop(op: AluOp) -> BinOp {
+    match op {
+        AluOp::Add => BinOp::Add,
+        AluOp::Sub => BinOp::Sub,
+        AluOp::Mul => BinOp::Mul,
+        AluOp::Div => BinOp::Div,
+        AluOp::Mod => BinOp::Mod,
+        AluOp::And => BinOp::And,
+        AluOp::Or => BinOp::Or,
+        AluOp::Xor => BinOp::Xor,
+        AluOp::Shl => BinOp::Shl,
+        AluOp::Shr => BinOp::Shr,
+    }
+}
+
+/// Default step budget per top-level call.
+pub const DEFAULT_STEP_BUDGET: u64 = 20_000_000;
+
+/// Maximum call depth.
+pub const MAX_DEPTH: usize = 64;
+
+/// A VM instance bound to one binary.
+///
+/// Globals persist across calls, like a loaded process image.
+///
+/// # Examples
+///
+/// ```
+/// use asteria_compiler::{compile_program, Arch, Vm};
+///
+/// let program = asteria_lang::parse("int dbl(int x) { return x * 2; }")?;
+/// let binary = compile_program(&program, Arch::Arm)?;
+/// let mut vm = Vm::new(&binary);
+/// let sym = binary.symbol_index("dbl").unwrap();
+/// assert_eq!(vm.call(sym, &[21])?, 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Vm<'b> {
+    binary: &'b Binary,
+    globals: Vec<i64>,
+    decoded: HashMap<usize, Vec<MInst>>,
+    steps_left: u64,
+    depth: usize,
+    /// Total instructions retired since construction (for benchmarks).
+    pub retired: u64,
+}
+
+impl<'b> Vm<'b> {
+    /// Creates a VM with freshly initialized globals.
+    pub fn new(binary: &'b Binary) -> Self {
+        Vm {
+            binary,
+            globals: binary.globals.clone(),
+            decoded: HashMap::new(),
+            steps_left: DEFAULT_STEP_BUDGET,
+            depth: 0,
+            retired: 0,
+        }
+    }
+
+    /// Calls a function symbol with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn call(&mut self, sym: usize, args: &[i64]) -> Result<i64, VmError> {
+        self.steps_left = DEFAULT_STEP_BUDGET;
+        self.call_inner(sym as u32, args)
+    }
+
+    fn decoded_insts(&mut self, sym: usize) -> Result<&Vec<MInst>, VmError> {
+        if !self.decoded.contains_key(&sym) {
+            let code = &self.binary.symbols[sym].code;
+            let insts = decode_function(code, self.binary.arch)?;
+            self.decoded.insert(sym, insts);
+        }
+        Ok(self.decoded.get(&sym).expect("just inserted"))
+    }
+
+    fn call_inner(&mut self, sym: u32, args: &[i64]) -> Result<i64, VmError> {
+        let symbol = self
+            .binary
+            .symbols
+            .get(sym as usize)
+            .ok_or(VmError::BadSymbol(sym))?;
+        if symbol.kind == SymbolKind::External {
+            let name = symbol.name.as_deref().unwrap_or("unknown_extern");
+            return Ok(external_call_result(name, args));
+        }
+        if self.depth >= MAX_DEPTH {
+            return Err(VmError::RecursionLimit);
+        }
+        self.depth += 1;
+        let result = self.exec(sym as usize, args);
+        self.depth -= 1;
+        result
+    }
+
+    fn exec(&mut self, sym: usize, args: &[i64]) -> Result<i64, VmError> {
+        let arch = self.binary.arch;
+        let insts = self.decoded_insts(sym)?.clone();
+        let frame_size = self.binary.symbols[sym].frame_size as usize;
+        let arg_regs = arch.arg_regs();
+
+        let mut regs = vec![0i64; arch.reg_count() as usize + 1];
+        for (i, r) in arg_regs.iter().enumerate() {
+            if i < args.len() {
+                regs[r.0 as usize] = args[i];
+            }
+        }
+        // Stack-passed arguments (all of them on x86, the excess elsewhere).
+        let stack_args: &[i64] = if args.len() > arg_regs.len() || arg_regs.is_empty() {
+            &args[arg_regs.len().min(args.len())..]
+        } else {
+            &[]
+        };
+
+        let mut frame = vec![0i64; frame_size];
+        let mut pending: Vec<i64> = Vec::new();
+        let mut pc = 0usize;
+
+        let read_mem =
+            |m: Mem, frame: &[i64], globals: &[i64], stack_args: &[i64]| -> Result<i64, VmError> {
+                match m {
+                    Mem::Frame(s) => frame.get(s as usize).copied().ok_or(VmError::BadAccess {
+                        what: "frame",
+                        index: s,
+                    }),
+                    Mem::Global(s) => globals.get(s as usize).copied().ok_or(VmError::BadAccess {
+                        what: "global",
+                        index: s,
+                    }),
+                    Mem::Arg(s) => stack_args
+                        .get(s as usize)
+                        .copied()
+                        .ok_or(VmError::BadAccess {
+                            what: "argument",
+                            index: s,
+                        }),
+                }
+            };
+
+        while pc < insts.len() {
+            if self.steps_left == 0 {
+                return Err(VmError::StepLimit);
+            }
+            self.steps_left -= 1;
+            self.retired += 1;
+            let inst = &insts[pc];
+            pc += 1;
+            match inst {
+                MInst::MovImm(rd, v) => regs[rd.0 as usize] = *v,
+                MInst::Mov(rd, rs) => regs[rd.0 as usize] = regs[rs.0 as usize],
+                MInst::LoadStr(rd, sid) => {
+                    let s = self
+                        .binary
+                        .strings
+                        .get(*sid as usize)
+                        .ok_or(VmError::BadAccess {
+                            what: "string",
+                            index: *sid,
+                        })?;
+                    regs[rd.0 as usize] = external_call_result(s, &[]);
+                }
+                MInst::Load(rd, m) => {
+                    regs[rd.0 as usize] = read_mem(*m, &frame, &self.globals, stack_args)?;
+                }
+                MInst::Store(m, rs) => {
+                    let v = regs[rs.0 as usize];
+                    match m {
+                        Mem::Frame(s) => {
+                            *frame.get_mut(*s as usize).ok_or(VmError::BadAccess {
+                                what: "frame",
+                                index: *s,
+                            })? = v;
+                        }
+                        Mem::Global(s) => {
+                            *self
+                                .globals
+                                .get_mut(*s as usize)
+                                .ok_or(VmError::BadAccess {
+                                    what: "global",
+                                    index: *s,
+                                })? = v;
+                        }
+                        Mem::Arg(s) => {
+                            return Err(VmError::BadAccess {
+                                what: "argument write",
+                                index: *s,
+                            })
+                        }
+                    }
+                }
+                MInst::LoadIdx { rd, base, idx, len } => {
+                    let i = wrap_index(regs[idx.0 as usize], *len as usize);
+                    let slot = *base as usize + i;
+                    regs[rd.0 as usize] = *frame.get(slot).ok_or(VmError::BadAccess {
+                        what: "frame array",
+                        index: slot as u32,
+                    })?;
+                }
+                MInst::StoreIdx { rs, base, idx, len } => {
+                    let i = wrap_index(regs[idx.0 as usize], *len as usize);
+                    let slot = *base as usize + i;
+                    let v = regs[rs.0 as usize];
+                    *frame.get_mut(slot).ok_or(VmError::BadAccess {
+                        what: "frame array",
+                        index: slot as u32,
+                    })? = v;
+                }
+                MInst::Alu3(op, rd, ra, rb) => {
+                    regs[rd.0 as usize] =
+                        eval_binop(alu_to_binop(*op), regs[ra.0 as usize], regs[rb.0 as usize]);
+                }
+                MInst::Alu2(op, rd, rs) => {
+                    regs[rd.0 as usize] =
+                        eval_binop(alu_to_binop(*op), regs[rd.0 as usize], regs[rs.0 as usize]);
+                }
+                MInst::Alu2Mem(op, rd, m) => {
+                    let v = read_mem(*m, &frame, &self.globals, stack_args)?;
+                    regs[rd.0 as usize] = eval_binop(alu_to_binop(*op), regs[rd.0 as usize], v);
+                }
+                MInst::UnAlu(op, rd, rs) => {
+                    let v = regs[rs.0 as usize];
+                    regs[rd.0 as usize] = match op {
+                        UnAluOp::Neg => eval_unop(UnOp::Neg, v),
+                        UnAluOp::Not => eval_unop(UnOp::Not, v),
+                        UnAluOp::BitNot => eval_unop(UnOp::BitNot, v),
+                    };
+                }
+                MInst::SetCc(cc, rd, ra, rb) => {
+                    regs[rd.0 as usize] = cc.eval(regs[ra.0 as usize], regs[rb.0 as usize]);
+                }
+                MInst::CSel { rd, rc, ra, rb } => {
+                    regs[rd.0 as usize] = if regs[rc.0 as usize] != 0 {
+                        regs[ra.0 as usize]
+                    } else {
+                        regs[rb.0 as usize]
+                    };
+                }
+                MInst::Brnz(rc, t) => {
+                    if regs[rc.0 as usize] != 0 {
+                        pc = *t as usize;
+                    }
+                }
+                MInst::Jmp(t) => pc = *t as usize,
+                MInst::Push(r) => pending.push(regs[r.0 as usize]),
+                MInst::Call { sym: callee, argc } => {
+                    let argc = *argc as usize;
+                    let mut call_args = Vec::with_capacity(argc);
+                    if arg_regs.is_empty() {
+                        // Pure stack convention: pushed right-to-left, so the
+                        // last `argc` pushes are argN-1 … arg0.
+                        let take = pending.split_off(pending.len().saturating_sub(argc));
+                        call_args.extend(take.into_iter().rev());
+                    } else {
+                        let in_regs = argc.min(arg_regs.len());
+                        for r in &arg_regs[..in_regs] {
+                            call_args.push(regs[r.0 as usize]);
+                        }
+                        let excess = argc - in_regs;
+                        let take = pending.split_off(pending.len().saturating_sub(excess));
+                        call_args.extend(take);
+                    }
+                    let ret = self.call_inner(*callee, &call_args)?;
+                    regs[0] = ret;
+                }
+                MInst::Ret => return Ok(regs[0]),
+                MInst::Nop => {}
+            }
+        }
+        // Falling off the end returns 0 (codegen always emits Ret, but
+        // hand-crafted binaries may not).
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_program;
+    use crate::isa::Arch;
+    use asteria_lang::parse;
+
+    fn run_all_arches(src: &str, func: &str, args: &[i64]) -> Vec<i64> {
+        let p = parse(src).unwrap();
+        Arch::ALL
+            .iter()
+            .map(|arch| {
+                let b = compile_program(&p, *arch).unwrap();
+                let sym = b.symbol_index(func).unwrap();
+                Vm::new(&b).call(sym, args).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_arithmetic_on_all_arches() {
+        let rs = run_all_arches("int f(int a, int b) { return a * b - 3; }", "f", &[6, 7]);
+        assert_eq!(rs, vec![39; 4]);
+    }
+
+    #[test]
+    fn many_args_exercise_stack_passing() {
+        // 10 args exceeds every register window.
+        let src = "int f(int a, int b, int c, int d, int e, int g, int h, int i, int j, int k) \
+                   { return a + b*2 + c*3 + d*4 + e*5 + g*6 + h*7 + i*8 + j*9 + k*10; }";
+        let args: Vec<i64> = (1..=10).collect();
+        let expect: i64 = (1..=10).map(|i| i * i).sum();
+        assert_eq!(run_all_arches(src, "f", &args), vec![expect; 4]);
+    }
+
+    #[test]
+    fn cross_function_calls_and_globals() {
+        let src = "int g = 10; int helper(int x) { g += x; return g; } \
+                   int f(int a) { helper(a); helper(a); return g; }";
+        assert_eq!(run_all_arches(src, "f", &[5]), vec![20; 4]);
+    }
+
+    #[test]
+    fn extern_calls_match_reference_semantics() {
+        let src = "int f(int a) { return ext_fn(a, 2); }";
+        let expect = external_call_result("ext_fn", &[9, 2]);
+        assert_eq!(run_all_arches(src, "f", &[9]), vec![expect; 4]);
+    }
+
+    #[test]
+    fn step_limit_fires_on_infinite_loop() {
+        let p = parse("int f() { int x = 1; while (x) { x = 1; } return 0; }").unwrap();
+        let b = compile_program(&p, Arch::X86).unwrap();
+        let sym = b.symbol_index("f").unwrap();
+        assert_eq!(Vm::new(&b).call(sym, &[]), Err(VmError::StepLimit));
+    }
+
+    #[test]
+    fn recursion_limit_fires() {
+        let p = parse("int f(int n) { return f(n); }").unwrap();
+        let b = compile_program(&p, Arch::Arm).unwrap();
+        let sym = b.symbol_index("f").unwrap();
+        assert_eq!(Vm::new(&b).call(sym, &[1]), Err(VmError::RecursionLimit));
+    }
+
+    #[test]
+    fn bad_symbol_index_errors() {
+        let p = parse("int f() { return 1; }").unwrap();
+        let b = compile_program(&p, Arch::Ppc).unwrap();
+        assert!(matches!(
+            Vm::new(&b).call(99, &[]),
+            Err(VmError::BadSymbol(99))
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the compiler: arbitrary instruction streams
+//! must round-trip through every architecture's encoding, and arbitrary
+//! straight-line programs must agree between the VM and the interpreter.
+
+use proptest::prelude::*;
+
+use asteria_compiler::{
+    compile_program, decode_function, encode_function, AluOp, Arch, CmpOp, MInst, Mem, Reg, Vm,
+};
+use asteria_lang::{parse, Interp};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(Reg)
+}
+
+fn arb_mem() -> impl Strategy<Value = Mem> {
+    prop_oneof![
+        (0u32..64).prop_map(Mem::Frame),
+        (0u32..8).prop_map(Mem::Global),
+        (0u32..4).prop_map(Mem::Arg),
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    proptest::sample::select(CmpOp::ALL.to_vec())
+}
+
+/// Non-branching instructions (branch targets need fixups, tested via the
+/// compiler path).
+fn arb_inst() -> impl Strategy<Value = MInst> {
+    prop_oneof![
+        (arb_reg(), -1_000_000i64..1_000_000).prop_map(|(r, v)| MInst::MovImm(r, v)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| MInst::Mov(a, b)),
+        (arb_reg(), 0u32..16).prop_map(|(r, s)| MInst::LoadStr(r, s)),
+        (arb_reg(), arb_mem()).prop_map(|(r, m)| MInst::Load(r, m)),
+        (arb_mem(), arb_reg()).prop_map(|(m, r)| MInst::Store(m, r)),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, d, a, b)| MInst::Alu3(op, d, a, b)),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, d, s)| MInst::Alu2(op, d, s)),
+        (arb_alu(), arb_reg(), arb_mem()).prop_map(|(op, d, m)| MInst::Alu2Mem(op, d, m)),
+        (arb_cmp(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(cc, d, a, b)| MInst::SetCc(cc, d, a, b)),
+        (arb_reg(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rc, ra, rb)| MInst::CSel {
+            rd,
+            rc,
+            ra,
+            rb
+        }),
+        arb_reg().prop_map(MInst::Push),
+        (0u32..32, 0u8..6).prop_map(|(sym, argc)| MInst::Call { sym, argc }),
+        (arb_reg(), 0u32..200, arb_reg(), 1u32..64)
+            .prop_map(|(rd, base, idx, len)| { MInst::LoadIdx { rd, base, idx, len } }),
+        Just(MInst::Ret),
+        Just(MInst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every encoding decodes back to exactly the encoded stream.
+    #[test]
+    fn encode_decode_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        for arch in Arch::ALL {
+            let bytes = encode_function(&insts, arch)
+                .unwrap_or_else(|e| panic!("{arch}: encode failed: {e}"));
+            let decoded = decode_function(&bytes, arch)
+                .unwrap_or_else(|e| panic!("{arch}: decode failed: {e}"));
+            prop_assert_eq!(&decoded, &insts, "{} roundtrip mismatch", arch);
+        }
+    }
+
+    /// Arbitrary arithmetic expressions evaluate identically in the
+    /// interpreter and on every ISA's VM.
+    #[test]
+    fn expression_semantics_match_interpreter(
+        ops in proptest::collection::vec((0usize..10, -9i64..9), 1..12),
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        // Build a straight-line function from the op list.
+        let mut body = String::from("int acc = a;\n");
+        for (op, k) in &ops {
+            let sym = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"][*op];
+            // Shift amounts must stay small and non-negative.
+            let operand = if *op >= 8 { (k.unsigned_abs() % 8) as i64 } else { *k };
+            body.push_str(&format!("acc = (acc {sym} {operand}) + b;\n"));
+        }
+        body.push_str("return acc;\n");
+        let src = format!("int f(int a, int b) {{ {body} }}");
+        let program = parse(&src).unwrap();
+        let expected = Interp::new(&program).call("f", &[a, b]).unwrap();
+        for arch in Arch::ALL {
+            let bin = compile_program(&program, arch).unwrap();
+            let got = Vm::new(&bin).call(0, &[a, b]).unwrap();
+            prop_assert_eq!(got, expected, "{} diverged", arch);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The Binary Tree-LSTM AST encoder (paper §III-B, equations 1–7).
+
+use rand::Rng;
+
+use asteria_nn::{Embedding, Graph, NodeId, ParamId, ParamStore, Tensor};
+
+use crate::binarize::BinTree;
+
+/// Initialization of the (absent) child states of leaf nodes — the paper's
+/// Fig. 9 "Leaf-0 vs Leaf-1" ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafInit {
+    /// All-zeros hidden/cell states (the paper's default, and winner).
+    Zeros,
+    /// All-ones hidden/cell states.
+    Ones,
+}
+
+/// The Binary Tree-LSTM network 𝒩(·).
+///
+/// One set of weights encodes any tree bottom-up: for every node the two
+/// forget gates (eq. 1–2), input and output gates (eq. 3–4) and the cached
+/// state (eq. 5) combine the node's embedding with its children's hidden
+/// states; the cell and hidden states (eq. 6–7) then propagate upward. The
+/// hidden state of the root is the encoding of the AST.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeLstm {
+    emb: Embedding,
+    // Forget gates (shared W and bias, four U matrices — eq. 1–2).
+    w_f: ParamId,
+    u_f_ll: ParamId,
+    u_f_lr: ParamId,
+    u_f_rl: ParamId,
+    u_f_rr: ParamId,
+    b_f: ParamId,
+    // Input gate (eq. 3).
+    w_i: ParamId,
+    u_i_l: ParamId,
+    u_i_r: ParamId,
+    b_i: ParamId,
+    // Output gate (eq. 4).
+    w_o: ParamId,
+    u_o_l: ParamId,
+    u_o_r: ParamId,
+    b_o: ParamId,
+    // Cached state (eq. 5).
+    w_u: ParamId,
+    u_u_l: ParamId,
+    u_u_r: ParamId,
+    b_u: ParamId,
+    hidden: usize,
+    leaf_init: LeafInit,
+}
+
+impl TreeLstm {
+    /// Registers all Tree-LSTM parameters in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        vocab: usize,
+        embed_dim: usize,
+        hidden_dim: usize,
+        leaf_init: LeafInit,
+        rng: &mut R,
+    ) -> Self {
+        let emb = Embedding::new(store, "tlstm.emb", vocab, embed_dim, rng);
+        let w = |store: &mut ParamStore, name: &str, rng: &mut R| {
+            store.add(name, Tensor::xavier(hidden_dim, embed_dim, rng))
+        };
+        let u = |store: &mut ParamStore, name: &str, rng: &mut R| {
+            store.add(name, Tensor::xavier(hidden_dim, hidden_dim, rng))
+        };
+        let b = |store: &mut ParamStore, name: &str| store.add(name, Tensor::zeros(hidden_dim, 1));
+        TreeLstm {
+            emb,
+            w_f: w(store, "tlstm.w_f", rng),
+            u_f_ll: u(store, "tlstm.u_f_ll", rng),
+            u_f_lr: u(store, "tlstm.u_f_lr", rng),
+            u_f_rl: u(store, "tlstm.u_f_rl", rng),
+            u_f_rr: u(store, "tlstm.u_f_rr", rng),
+            b_f: b(store, "tlstm.b_f"),
+            w_i: w(store, "tlstm.w_i", rng),
+            u_i_l: u(store, "tlstm.u_i_l", rng),
+            u_i_r: u(store, "tlstm.u_i_r", rng),
+            b_i: b(store, "tlstm.b_i"),
+            w_o: w(store, "tlstm.w_o", rng),
+            u_o_l: u(store, "tlstm.u_o_l", rng),
+            u_o_r: u(store, "tlstm.u_o_r", rng),
+            b_o: b(store, "tlstm.b_o"),
+            w_u: w(store, "tlstm.w_u", rng),
+            u_u_l: u(store, "tlstm.u_u_l", rng),
+            u_u_r: u(store, "tlstm.u_u_r", rng),
+            b_u: b(store, "tlstm.b_u"),
+            hidden: hidden_dim,
+            leaf_init,
+        }
+    }
+
+    /// Hidden (encoding) dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Embedding dimension.
+    pub fn embed_dim(&self) -> usize {
+        self.emb.dim()
+    }
+
+    /// Encodes a binarized AST, returning the root's hidden-state node.
+    ///
+    /// Evaluation is an explicit post-order loop (batch size is inherently
+    /// 1, as the paper notes — the computation shape follows the tree).
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, tree: &BinTree) -> NodeId {
+        // Hoist parameter reads so each weight appears once on the tape.
+        let w_f = g.param(store, self.w_f);
+        let u_f_ll = g.param(store, self.u_f_ll);
+        let u_f_lr = g.param(store, self.u_f_lr);
+        let u_f_rl = g.param(store, self.u_f_rl);
+        let u_f_rr = g.param(store, self.u_f_rr);
+        let b_f = g.param(store, self.b_f);
+        let w_i = g.param(store, self.w_i);
+        let u_i_l = g.param(store, self.u_i_l);
+        let u_i_r = g.param(store, self.u_i_r);
+        let b_i = g.param(store, self.b_i);
+        let w_o = g.param(store, self.w_o);
+        let u_o_l = g.param(store, self.u_o_l);
+        let u_o_r = g.param(store, self.u_o_r);
+        let b_o = g.param(store, self.b_o);
+        let w_u = g.param(store, self.w_u);
+        let u_u_l = g.param(store, self.u_u_l);
+        let u_u_r = g.param(store, self.u_u_r);
+        let b_u = g.param(store, self.b_u);
+
+        let init = match self.leaf_init {
+            LeafInit::Zeros => g.input(Tensor::zeros(self.hidden, 1)),
+            LeafInit::Ones => g.input(Tensor::ones(self.hidden, 1)),
+        };
+
+        let mut states: Vec<Option<(NodeId, NodeId)>> = vec![None; tree.size()];
+        for k in tree.postorder() {
+            let (h_l, c_l) = tree
+                .left(k)
+                .map(|c| states[c as usize].expect("postorder"))
+                .unwrap_or((init, init));
+            let (h_r, c_r) = tree
+                .right(k)
+                .map(|c| states[c as usize].expect("postorder"))
+                .unwrap_or((init, init));
+            let e_k = self.emb.lookup(g, store, tree.label(k) as usize);
+
+            // Shared affine pieces.
+            let wf_e = g.matvec(w_f, e_k);
+            // f_kl = σ(W^f e + U_ll h_l + U_lr h_r + b)      (eq. 1)
+            let f_l = {
+                let t1 = g.matvec(u_f_ll, h_l);
+                let t2 = g.matvec(u_f_lr, h_r);
+                let s = g.add3(wf_e, t1, t2);
+                let s = g.add(s, b_f);
+                g.sigmoid(s)
+            };
+            // f_kr = σ(W^f e + U_rl h_l + U_rr h_r + b)      (eq. 2)
+            let f_r = {
+                let t1 = g.matvec(u_f_rl, h_l);
+                let t2 = g.matvec(u_f_rr, h_r);
+                let s = g.add3(wf_e, t1, t2);
+                let s = g.add(s, b_f);
+                g.sigmoid(s)
+            };
+            // i_k (eq. 3)
+            let i_k = {
+                let we = g.matvec(w_i, e_k);
+                let t1 = g.matvec(u_i_l, h_l);
+                let t2 = g.matvec(u_i_r, h_r);
+                let s = g.add3(we, t1, t2);
+                let s = g.add(s, b_i);
+                g.sigmoid(s)
+            };
+            // o_k (eq. 4)
+            let o_k = {
+                let we = g.matvec(w_o, e_k);
+                let t1 = g.matvec(u_o_l, h_l);
+                let t2 = g.matvec(u_o_r, h_r);
+                let s = g.add3(we, t1, t2);
+                let s = g.add(s, b_o);
+                g.sigmoid(s)
+            };
+            // u_k (eq. 5) — tanh to retain signed information.
+            let u_k = {
+                let we = g.matvec(w_u, e_k);
+                let t1 = g.matvec(u_u_l, h_l);
+                let t2 = g.matvec(u_u_r, h_r);
+                let s = g.add3(we, t1, t2);
+                let s = g.add(s, b_u);
+                g.tanh(s)
+            };
+            // c_k = i⊙u + c_l⊙f_l + c_r⊙f_r (eq. 6)
+            let c_k = {
+                let a = g.hadamard(i_k, u_k);
+                let bterm = g.hadamard(c_l, f_l);
+                let cterm = g.hadamard(c_r, f_r);
+                g.add3(a, bterm, cterm)
+            };
+            // h_k = o ⊙ tanh(c) (eq. 7)
+            let h_k = {
+                let t = g.tanh(c_k);
+                g.hadamard(o_k, t)
+            };
+            states[k as usize] = Some((h_k, c_k));
+        }
+        states[tree.root() as usize].expect("root encoded").0
+    }
+
+    /// Convenience: encodes a tree and returns the raw vector (no tape
+    /// retained) — the paper's offline embedding step.
+    pub fn encode_to_vec(&self, store: &ParamStore, tree: &BinTree) -> Vec<f32> {
+        let mut g = Graph::new();
+        let h = self.encode(&mut g, store, tree);
+        g.value(h).as_slice().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::binarize;
+    use crate::nodes::{AstTree, NodeType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(leaf: LeafInit) -> (ParamStore, TreeLstm) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = TreeLstm::new(&mut store, NodeType::VOCAB, 8, 12, leaf, &mut rng);
+        (store, t)
+    }
+
+    fn small_tree() -> BinTree {
+        let mut t = AstTree::with_root(NodeType::Block);
+        let r = t.root();
+        let i = t.add(r, NodeType::If);
+        t.add(i, NodeType::CmpGt);
+        t.add(i, NodeType::Block);
+        t.add(r, NodeType::Return);
+        binarize(&t)
+    }
+
+    #[test]
+    fn encoding_has_hidden_dim() {
+        let (store, tl) = setup(LeafInit::Zeros);
+        let v = tl.encode_to_vec(&store, &small_tree());
+        assert_eq!(v.len(), 12);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let (store, tl) = setup(LeafInit::Zeros);
+        let a = tl.encode_to_vec(&store, &small_tree());
+        let b = tl.encode_to_vec(&store, &small_tree());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_trees_encode_differently() {
+        let (store, tl) = setup(LeafInit::Zeros);
+        let a = tl.encode_to_vec(&store, &small_tree());
+        let mut t2 = AstTree::with_root(NodeType::Block);
+        let r = t2.root();
+        t2.add(r, NodeType::While);
+        let b = tl.encode_to_vec(&store, &binarize(&t2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn leaf_init_changes_encoding() {
+        let (store_z, tl_z) = setup(LeafInit::Zeros);
+        let (store_o, tl_o) = setup(LeafInit::Ones);
+        // Same seed → same weights; only the leaf init differs.
+        let a = tl_z.encode_to_vec(&store_z, &small_tree());
+        let b = tl_o.encode_to_vec(&store_o, &small_tree());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn node_order_matters() {
+        // Binary Tree-LSTM (unlike Child-Sum) distinguishes child order —
+        // the reason the paper picks it (§II-C).
+        let mut t1 = AstTree::with_root(NodeType::Block);
+        let r1 = t1.root();
+        t1.add(r1, NodeType::If);
+        t1.add(r1, NodeType::Return);
+        let mut t2 = AstTree::with_root(NodeType::Block);
+        let r2 = t2.root();
+        t2.add(r2, NodeType::Return);
+        t2.add(r2, NodeType::If);
+        let (store, tl) = setup(LeafInit::Zeros);
+        let a = tl.encode_to_vec(&store, &binarize(&t1));
+        let b = tl.encode_to_vec(&store, &binarize(&t2));
+        assert_ne!(a, b, "sibling order must affect the encoding");
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let (mut store, tl) = setup(LeafInit::Zeros);
+        let tree = small_tree();
+        let mut g = Graph::new();
+        let h = tl.encode(&mut g, &store, &tree);
+        let loss = g.mse_loss(h, Tensor::zeros(12, 1));
+        g.backward(loss, &mut store);
+        let mut nonzero = 0;
+        for id in store.ids().collect::<Vec<_>>() {
+            if store.grad(id).as_slice().iter().any(|v| *v != 0.0) {
+                nonzero += 1;
+            }
+        }
+        // Every Tree-LSTM parameter should receive gradient (the embedding
+        // table only at used rows, still nonzero overall).
+        assert!(nonzero >= 18, "only {nonzero} params got gradients");
+    }
+
+    #[test]
+    fn gradcheck_on_tiny_tree() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tl = TreeLstm::new(&mut store, 6, 3, 4, LeafInit::Zeros, &mut rng);
+        let mut t = AstTree::with_root(NodeType::Block);
+        let r = t.root();
+        t.add(r, NodeType::If);
+        let tree = binarize(&t);
+        asteria_nn::gradcheck::check_gradients(&mut store, 1e-2, 5e-2, |store, g| {
+            let h = tl.encode(g, store, &tree);
+            g.mse_loss(h, Tensor::full(4, 1, 0.3))
+        });
+    }
+}

@@ -1,0 +1,304 @@
+//! The complete Asteria model: shared Tree-LSTM towers + Siamese head +
+//! callee-count calibration (paper §III, eq. 9–10).
+
+use std::io::{self, Read, Write};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use asteria_nn::{AdaGrad, Graph, Optimizer, ParamStore};
+
+use crate::binarize::BinTree;
+use crate::encoder::{LeafInit, TreeLstm};
+use crate::nodes::NodeType;
+use crate::siamese::{SiameseHead, SiameseKind};
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Node-embedding dimension (paper default: 16).
+    pub embed_dim: usize,
+    /// Tree-LSTM hidden/encoding dimension.
+    pub hidden_dim: usize,
+    /// Leaf child-state initialization (Fig. 9 ablation).
+    pub leaf_init: LeafInit,
+    /// Siamese head flavour (Fig. 9 ablation).
+    pub head: SiameseKind,
+    /// Embedding vocabulary (Table I label count).
+    pub vocab: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+    /// AdaGrad learning rate (the paper's optimizer, §IV-A).
+    pub learning_rate: f32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 32,
+            leaf_init: LeafInit::Zeros,
+            head: SiameseKind::Classification,
+            vocab: NodeType::VOCAB,
+            seed: 0xA57E51A,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+/// The trainable Asteria model 𝓜(T₁, T₂).
+///
+/// # Examples
+///
+/// ```
+/// use asteria_core::{AsteriaModel, ModelConfig};
+/// use asteria_core::nodes::{AstTree, NodeType};
+/// use asteria_core::binarize::binarize;
+///
+/// let model = AsteriaModel::new(ModelConfig::default());
+/// let tree = binarize(&AstTree::with_root(NodeType::Block));
+/// let sim = model.similarity(&tree, &tree);
+/// assert!((0.0..=1.0).contains(&sim));
+/// ```
+pub struct AsteriaModel {
+    config: ModelConfig,
+    store: ParamStore,
+    tree_lstm: TreeLstm,
+    head: SiameseHead,
+    optimizer: AdaGrad,
+}
+
+impl std::fmt::Debug for AsteriaModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AsteriaModel(embed={}, hidden={}, {:?}, {} weights)",
+            self.config.embed_dim,
+            self.config.hidden_dim,
+            self.head.kind(),
+            self.store.num_weights()
+        )
+    }
+}
+
+impl AsteriaModel {
+    /// Builds a model with freshly initialized weights.
+    pub fn new(config: ModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tree_lstm = TreeLstm::new(
+            &mut store,
+            config.vocab,
+            config.embed_dim,
+            config.hidden_dim,
+            config.leaf_init,
+            &mut rng,
+        );
+        let head = SiameseHead::new(&mut store, config.head, config.hidden_dim, &mut rng);
+        let optimizer = AdaGrad::new(config.learning_rate);
+        AsteriaModel {
+            config,
+            store,
+            tree_lstm,
+            head,
+            optimizer,
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    /// Encodes an AST into its semantic vector (the offline phase).
+    pub fn encode(&self, tree: &BinTree) -> Vec<f32> {
+        self.tree_lstm.encode_to_vec(&self.store, tree)
+    }
+
+    /// Full-pipeline similarity 𝓜(T₁, T₂) of two ASTs.
+    pub fn similarity(&self, t1: &BinTree, t2: &BinTree) -> f32 {
+        let mut g = Graph::new();
+        let h1 = self.tree_lstm.encode(&mut g, &self.store, t1);
+        let h2 = self.tree_lstm.encode(&mut g, &self.store, t2);
+        let out = self.head.forward(&mut g, &self.store, h1, h2);
+        self.head.similarity(&g, out)
+    }
+
+    /// Online-phase similarity from two cached encodings (Fig. 10c).
+    pub fn similarity_from_encodings(&self, a: &[f32], b: &[f32]) -> f32 {
+        self.head.similarity_from_vecs(&self.store, a, b)
+    }
+
+    /// One SGD step on a labelled AST pair; returns the loss.
+    ///
+    /// Both towers share one parameter set (the Siamese property), so the
+    /// backward pass accumulates gradients from both trees automatically.
+    pub fn train_pair(&mut self, t1: &BinTree, t2: &BinTree, homologous: bool) -> f32 {
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let h1 = self.tree_lstm.encode(&mut g, &self.store, t1);
+        let h2 = self.tree_lstm.encode(&mut g, &self.store, t2);
+        let out = self.head.forward(&mut g, &self.store, h1, h2);
+        let loss = self.head.loss(&mut g, out, homologous);
+        let loss_value = g.value(loss).item();
+        g.backward(loss, &mut self.store);
+        self.store.clip_grad_norm(5.0);
+        self.optimizer.step(&mut self.store);
+        loss_value
+    }
+
+    /// Serializes the weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save<W: Write>(&self, w: W) -> io::Result<()> {
+        self.store.save(w)
+    }
+
+    /// Restores weights previously written by [`AsteriaModel::save`] into a
+    /// model of identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when shapes or names do not match.
+    pub fn load<R: Read>(&mut self, r: R) -> io::Result<()> {
+        self.store.load(r)
+    }
+
+    /// Snapshot of the weights as bytes (for best-epoch checkpointing).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.save(&mut buf).expect("in-memory save cannot fail");
+        buf
+    }
+
+    /// Restores a snapshot created by [`AsteriaModel::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the model configuration.
+    pub fn restore(&mut self, snapshot: &[u8]) {
+        self.load(snapshot).expect("snapshot matches configuration");
+    }
+}
+
+/// The calibration function 𝒮(C₁, C₂) = e^(−|C₁−C₂|) (paper eq. 9).
+pub fn callee_similarity(c1: usize, c2: usize) -> f64 {
+    let d = c1.abs_diff(c2) as f64;
+    (-d).exp()
+}
+
+/// The final function similarity ℱ = 𝓜(T₁,T₂) × 𝒮(C₁,C₂) (paper eq. 10).
+pub fn calibrated_similarity(ast_similarity: f64, c1: usize, c2: usize) -> f64 {
+    ast_similarity * callee_similarity(c1, c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::binarize;
+    use crate::nodes::{AstTree, NodeType};
+
+    fn tree(kinds: &[NodeType]) -> BinTree {
+        let mut t = AstTree::with_root(NodeType::Block);
+        let r = t.root();
+        for k in kinds {
+            t.add(r, *k);
+        }
+        binarize(&t)
+    }
+
+    #[test]
+    fn similarity_in_unit_interval() {
+        let m = AsteriaModel::new(ModelConfig::default());
+        let a = tree(&[NodeType::If, NodeType::Return]);
+        let b = tree(&[NodeType::While, NodeType::Break]);
+        let s = m.similarity(&a, &b);
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn training_separates_pairs() {
+        let mut config = ModelConfig {
+            hidden_dim: 16,
+            embed_dim: 8,
+            ..Default::default()
+        };
+        config.learning_rate = 0.1;
+        let mut m = AsteriaModel::new(config);
+        let a1 = tree(&[NodeType::If, NodeType::Return, NodeType::While]);
+        let a2 = tree(&[NodeType::If, NodeType::Return, NodeType::While]);
+        let b = tree(&[
+            NodeType::Switch,
+            NodeType::Goto,
+            NodeType::Num,
+            NodeType::Call,
+        ]);
+        for _ in 0..40 {
+            m.train_pair(&a1, &a2, true);
+            m.train_pair(&a1, &b, false);
+        }
+        let sim_pos = m.similarity(&a1, &a2);
+        let sim_neg = m.similarity(&a1, &b);
+        assert!(
+            sim_pos > sim_neg + 0.3,
+            "training failed to separate: pos={sim_pos} neg={sim_neg}"
+        );
+    }
+
+    #[test]
+    fn encodings_reproduce_full_similarity() {
+        let m = AsteriaModel::new(ModelConfig::default());
+        let a = tree(&[NodeType::If, NodeType::Return]);
+        let b = tree(&[NodeType::While]);
+        let full = m.similarity(&a, &b);
+        let fast = m.similarity_from_encodings(&m.encode(&a), &m.encode(&b));
+        assert!((full - fast).abs() < 1e-5);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_outputs() {
+        let mut m1 = AsteriaModel::new(ModelConfig::default());
+        let a = tree(&[NodeType::If]);
+        let b = tree(&[NodeType::While]);
+        m1.train_pair(&a, &b, false);
+        let snapshot = m1.snapshot();
+        let mut m2 = AsteriaModel::new(ModelConfig::default());
+        m2.restore(&snapshot);
+        assert_eq!(m1.similarity(&a, &b), m2.similarity(&a, &b));
+    }
+
+    #[test]
+    fn calibration_matches_paper_equation() {
+        assert!((callee_similarity(3, 3) - 1.0).abs() < 1e-12);
+        assert!((callee_similarity(3, 4) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((callee_similarity(0, 5) - (-5.0f64).exp()).abs() < 1e-12);
+        let f = calibrated_similarity(0.9, 2, 4);
+        assert!((f - 0.9 * (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_head_also_trains() {
+        let config = ModelConfig {
+            head: SiameseKind::Regression,
+            hidden_dim: 16,
+            embed_dim: 8,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        let mut m = AsteriaModel::new(config);
+        let a = tree(&[NodeType::If, NodeType::Return]);
+        let b = tree(&[NodeType::Switch, NodeType::Num]);
+        let mut last = f32::INFINITY;
+        for _ in 0..20 {
+            last = m.train_pair(&a, &b, false);
+        }
+        assert!(last < 0.5, "regression loss did not drop: {last}");
+    }
+}

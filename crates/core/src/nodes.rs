@@ -1,0 +1,531 @@
+//! Table I: the AST node-type vocabulary and digitalization.
+//!
+//! The paper maps every decompiled AST node to a small integer label
+//! before embedding (§III-A, Table I). This module defines the label
+//! space — statements first, then assignment/compare/arith expression
+//! groups, then "other" leaf kinds — and converts decompiled functions
+//! ([`asteria_decompiler::DFunction`]) into labelled n-ary [`AstTree`]s.
+
+use asteria_decompiler::{DAssignOp, DExpr, DFunction, DPlace, DStmt};
+use asteria_lang::{BinOp, UnOp};
+
+/// One node type of Table I. The discriminant is the digitalized label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+#[allow(missing_docs)] // variant names mirror Table I rows
+pub enum NodeType {
+    // --- statements -------------------------------------------------
+    Block = 0,
+    If = 1,
+    For = 2,
+    While = 3,
+    DoWhile = 4,
+    Switch = 5,
+    Case = 6,
+    Return = 7,
+    Goto = 8,
+    LabelStmt = 9,
+    Continue = 10,
+    Break = 11,
+    // --- assignments (paper rows "asgs") -----------------------------
+    Asg = 12,
+    AsgAdd = 13,
+    AsgSub = 14,
+    AsgMul = 15,
+    AsgDiv = 16,
+    AsgAnd = 17,
+    AsgOr = 18,
+    AsgXor = 19,
+    // --- comparisons (paper rows "cmps") ------------------------------
+    CmpEq = 20,
+    CmpNe = 21,
+    CmpLt = 22,
+    CmpLe = 23,
+    CmpGt = 24,
+    CmpGe = 25,
+    // --- arithmetic / bit operations (paper rows "ariths") ------------
+    Add = 26,
+    Sub = 27,
+    Mul = 28,
+    Div = 29,
+    Mod = 30,
+    BitAnd = 31,
+    BitOr = 32,
+    BitXor = 33,
+    Shl = 34,
+    Shr = 35,
+    Neg = 36,
+    LogNot = 37,
+    BitNot = 38,
+    PostInc = 39,
+    PostDec = 40,
+    PreInc = 41,
+    PreDec = 42,
+    // --- other ---------------------------------------------------------
+    Index = 43,
+    Var = 44,
+    Num = 45,
+    Call = 46,
+    Str = 47,
+    Ternary = 48,
+    Asm = 49,
+    Cast = 50,
+}
+
+impl NodeType {
+    /// The digitalized label (row of the embedding table).
+    pub fn label(self) -> u16 {
+        self as u16
+    }
+
+    /// Size of the label space (embedding vocabulary).
+    pub const VOCAB: usize = 51;
+
+    /// Human-readable name (for Table I regeneration).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeType::Block => "block",
+            NodeType::If => "if",
+            NodeType::For => "for",
+            NodeType::While => "while",
+            NodeType::DoWhile => "do-while",
+            NodeType::Switch => "switch",
+            NodeType::Case => "case",
+            NodeType::Return => "return",
+            NodeType::Goto => "goto",
+            NodeType::LabelStmt => "label",
+            NodeType::Continue => "continue",
+            NodeType::Break => "break",
+            NodeType::Asg => "asg",
+            NodeType::AsgAdd => "asgadd",
+            NodeType::AsgSub => "asgsub",
+            NodeType::AsgMul => "asgmul",
+            NodeType::AsgDiv => "asgdiv",
+            NodeType::AsgAnd => "asgand",
+            NodeType::AsgOr => "asgor",
+            NodeType::AsgXor => "asgxor",
+            NodeType::CmpEq => "eq",
+            NodeType::CmpNe => "ne",
+            NodeType::CmpLt => "lt",
+            NodeType::CmpLe => "le",
+            NodeType::CmpGt => "gt",
+            NodeType::CmpGe => "ge",
+            NodeType::Add => "add",
+            NodeType::Sub => "sub",
+            NodeType::Mul => "mul",
+            NodeType::Div => "div",
+            NodeType::Mod => "mod",
+            NodeType::BitAnd => "band",
+            NodeType::BitOr => "bor",
+            NodeType::BitXor => "bxor",
+            NodeType::Shl => "shl",
+            NodeType::Shr => "shr",
+            NodeType::Neg => "neg",
+            NodeType::LogNot => "lnot",
+            NodeType::BitNot => "bnot",
+            NodeType::PostInc => "postinc",
+            NodeType::PostDec => "postdec",
+            NodeType::PreInc => "preinc",
+            NodeType::PreDec => "predec",
+            NodeType::Index => "index",
+            NodeType::Var => "var",
+            NodeType::Num => "num",
+            NodeType::Call => "call",
+            NodeType::Str => "str",
+            NodeType::Ternary => "ternary",
+            NodeType::Asm => "asm",
+            NodeType::Cast => "cast",
+        }
+    }
+
+    /// Statement/expression class, for Table I's grouping column.
+    pub fn class(self) -> &'static str {
+        use NodeType::*;
+        match self {
+            Block | If | For | While | DoWhile | Switch | Case | Return | Goto | LabelStmt
+            | Continue | Break => "statement",
+            Asg | AsgAdd | AsgSub | AsgMul | AsgDiv | AsgAnd | AsgOr | AsgXor => "asgs",
+            CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe => "cmps",
+            Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr | Neg | LogNot
+            | BitNot | PostInc | PostDec | PreInc | PreDec => "ariths",
+            Index | Var | Num | Call | Str | Ternary | Asm | Cast => "other",
+        }
+    }
+
+    /// Every node type, in label order.
+    pub fn all() -> Vec<NodeType> {
+        use NodeType::*;
+        vec![
+            Block, If, For, While, DoWhile, Switch, Case, Return, Goto, LabelStmt, Continue, Break,
+            Asg, AsgAdd, AsgSub, AsgMul, AsgDiv, AsgAnd, AsgOr, AsgXor, CmpEq, CmpNe, CmpLt, CmpLe,
+            CmpGt, CmpGe, Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr, Neg, LogNot,
+            BitNot, PostInc, PostDec, PreInc, PreDec, Index, Var, Num, Call, Str, Ternary, Asm,
+            Cast,
+        ]
+    }
+}
+
+fn binop_type(op: BinOp) -> NodeType {
+    match op {
+        BinOp::Add => NodeType::Add,
+        BinOp::Sub => NodeType::Sub,
+        BinOp::Mul => NodeType::Mul,
+        BinOp::Div => NodeType::Div,
+        BinOp::Mod => NodeType::Mod,
+        BinOp::And => NodeType::BitAnd,
+        BinOp::Or => NodeType::BitOr,
+        BinOp::Xor => NodeType::BitXor,
+        BinOp::Shl => NodeType::Shl,
+        BinOp::Shr => NodeType::Shr,
+        BinOp::Eq => NodeType::CmpEq,
+        BinOp::Ne => NodeType::CmpNe,
+        BinOp::Lt => NodeType::CmpLt,
+        BinOp::Le => NodeType::CmpLe,
+        BinOp::Gt => NodeType::CmpGt,
+        BinOp::Ge => NodeType::CmpGe,
+        // The decompiler never produces short-circuit operators (they come
+        // back as control flow); treat defensively as bit ops.
+        BinOp::LogAnd => NodeType::BitAnd,
+        BinOp::LogOr => NodeType::BitOr,
+    }
+}
+
+fn assign_type(op: DAssignOp) -> NodeType {
+    match op {
+        DAssignOp::Assign => NodeType::Asg,
+        DAssignOp::Compound(b) => match b {
+            BinOp::Add => NodeType::AsgAdd,
+            BinOp::Sub => NodeType::AsgSub,
+            BinOp::Mul => NodeType::AsgMul,
+            BinOp::Div => NodeType::AsgDiv,
+            BinOp::And => NodeType::AsgAnd,
+            BinOp::Or => NodeType::AsgOr,
+            BinOp::Xor => NodeType::AsgXor,
+            _ => NodeType::Asg,
+        },
+    }
+}
+
+/// An n-ary labelled tree — the digitalized AST.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AstTree {
+    labels: Vec<u16>,
+    children: Vec<Vec<u32>>,
+    root: u32,
+}
+
+impl AstTree {
+    /// Creates a tree with a single root node.
+    pub fn with_root(label: NodeType) -> Self {
+        AstTree {
+            labels: vec![label.label()],
+            children: vec![Vec::new()],
+            root: 0,
+        }
+    }
+
+    /// Adds a node under `parent`, returning the new node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range.
+    pub fn add(&mut self, parent: u32, label: NodeType) -> u32 {
+        assert!((parent as usize) < self.labels.len(), "bad parent");
+        let id = self.labels.len() as u32;
+        self.labels.push(label.label());
+        self.children.push(Vec::new());
+        self.children[parent as usize].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Label of a node.
+    pub fn label(&self, node: u32) -> u16 {
+        self.labels[node as usize]
+    }
+
+    /// Children of a node, in syntactic order.
+    pub fn children(&self, node: u32) -> &[u32] {
+        &self.children[node as usize]
+    }
+
+    /// Depth of the tree (root = 1).
+    pub fn depth(&self) -> usize {
+        fn go(t: &AstTree, n: u32) -> usize {
+            1 + t.children(n).iter().map(|c| go(t, *c)).max().unwrap_or(0)
+        }
+        go(self, self.root)
+    }
+
+    /// Histogram of node labels (for Table I statistics).
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; NodeType::VOCAB];
+        for l in &self.labels {
+            h[*l as usize] += 1;
+        }
+        h
+    }
+}
+
+fn add_expr(t: &mut AstTree, parent: u32, e: &DExpr) {
+    match e {
+        DExpr::Num(_) => {
+            // Constants are digitalized without their value (§VII: the
+            // paper removes constant values and strings).
+            t.add(parent, NodeType::Num);
+        }
+        DExpr::Str(_) => {
+            t.add(parent, NodeType::Str);
+        }
+        DExpr::Var(_) => {
+            t.add(parent, NodeType::Var);
+        }
+        DExpr::Index(_, idx) => {
+            let n = t.add(parent, NodeType::Index);
+            t.add(n, NodeType::Var);
+            add_expr(t, n, idx);
+        }
+        DExpr::Call { args, .. } => {
+            let n = t.add(parent, NodeType::Call);
+            for a in args {
+                add_expr(t, n, a);
+            }
+        }
+        DExpr::Un(op, inner) => {
+            let ty = match op {
+                UnOp::Neg => NodeType::Neg,
+                UnOp::Not => NodeType::LogNot,
+                UnOp::BitNot => NodeType::BitNot,
+            };
+            let n = t.add(parent, ty);
+            add_expr(t, n, inner);
+        }
+        DExpr::Bin(op, a, b) => {
+            let n = t.add(parent, binop_type(*op));
+            add_expr(t, n, a);
+            add_expr(t, n, b);
+        }
+        DExpr::Select(c, a, b) => {
+            let n = t.add(parent, NodeType::Ternary);
+            add_expr(t, n, c);
+            add_expr(t, n, a);
+            add_expr(t, n, b);
+        }
+        DExpr::Cast(inner) => {
+            let n = t.add(parent, NodeType::Cast);
+            add_expr(t, n, inner);
+        }
+    }
+}
+
+fn add_place(t: &mut AstTree, parent: u32, p: &DPlace) {
+    match p {
+        DPlace::Var(_) => {
+            t.add(parent, NodeType::Var);
+        }
+        DPlace::Index(_, idx) => {
+            let n = t.add(parent, NodeType::Index);
+            t.add(n, NodeType::Var);
+            add_expr(t, n, idx);
+        }
+    }
+}
+
+fn add_block(t: &mut AstTree, parent: u32, stmts: &[DStmt]) {
+    let block = t.add(parent, NodeType::Block);
+    for s in stmts {
+        add_stmt(t, block, s);
+    }
+}
+
+fn add_stmt(t: &mut AstTree, parent: u32, s: &DStmt) {
+    match s {
+        DStmt::Assign(op, place, e) => {
+            let n = t.add(parent, assign_type(*op));
+            add_place(t, n, place);
+            add_expr(t, n, e);
+        }
+        DStmt::Expr(e) => add_expr(t, parent, e),
+        DStmt::If(c, then_body, else_body) => {
+            let n = t.add(parent, NodeType::If);
+            add_expr(t, n, c);
+            add_block(t, n, then_body);
+            if !else_body.is_empty() {
+                add_block(t, n, else_body);
+            }
+        }
+        DStmt::While(c, body) => {
+            let n = t.add(parent, NodeType::While);
+            add_expr(t, n, c);
+            add_block(t, n, body);
+        }
+        DStmt::DoWhile(body, c) => {
+            let n = t.add(parent, NodeType::DoWhile);
+            add_block(t, n, body);
+            add_expr(t, n, c);
+        }
+        DStmt::Switch(scrut, cases) => {
+            let n = t.add(parent, NodeType::Switch);
+            add_expr(t, n, scrut);
+            for case in cases {
+                let c = t.add(n, NodeType::Case);
+                if case.value.is_some() {
+                    t.add(c, NodeType::Num);
+                }
+                add_block(t, c, &case.body);
+            }
+        }
+        DStmt::Return(e) => {
+            let n = t.add(parent, NodeType::Return);
+            if let Some(e) = e {
+                add_expr(t, n, e);
+            }
+        }
+        DStmt::Break => {
+            t.add(parent, NodeType::Break);
+        }
+        DStmt::Continue => {
+            t.add(parent, NodeType::Continue);
+        }
+        DStmt::Goto(_) => {
+            t.add(parent, NodeType::Goto);
+        }
+        DStmt::Label(_) => {
+            t.add(parent, NodeType::LabelStmt);
+        }
+    }
+}
+
+/// Digitalizes a decompiled function into a labelled AST (Fig. 3 step 2,
+/// first half). Variable names, constant values and strings are dropped;
+/// only node types remain, exactly as the paper prescribes.
+pub fn digitalize(func: &DFunction) -> AstTree {
+    let mut t = AstTree::with_root(NodeType::Block);
+    let root = t.root();
+    for s in &func.body {
+        add_stmt(&mut t, root, s);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asteria_compiler::{compile_program, Arch};
+    use asteria_decompiler::decompile_function;
+    use asteria_lang::parse;
+
+    fn tree_of(src: &str, arch: Arch) -> AstTree {
+        let p = parse(src).unwrap();
+        let b = compile_program(&p, arch).unwrap();
+        digitalize(&decompile_function(&b, 0).unwrap())
+    }
+
+    #[test]
+    fn vocab_is_consistent() {
+        let all = NodeType::all();
+        assert_eq!(all.len(), NodeType::VOCAB);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.label() as usize, i, "{t:?} out of order");
+        }
+    }
+
+    #[test]
+    fn simple_function_digitalizes() {
+        // ARM output nests fully: block → return → add → (var, num).
+        let t = tree_of("int f(int a) { return a + 1; }", Arch::Arm);
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.label(t.root()), NodeType::Block.label());
+        assert_eq!(t.depth(), 4);
+        // Terminator expressions fold on every ISA, so the simple return
+        // is identical on x86 too…
+        let tx = tree_of("int f(int a) { return a + 1; }", Arch::X86);
+        assert_eq!(tx.size(), t.size());
+        // …but statement-level temporaries survive on x86 only.
+        let src = "int g = 0; int f(int a) { g = a * 2 + 1; g = g + a; return g; }";
+        let sx = tree_of(src, Arch::X86).size();
+        let sa = tree_of(src, Arch::Arm).size();
+        assert!(sx > sa, "x86 {sx} vs arm {sa}");
+    }
+
+    #[test]
+    fn constants_and_names_are_dropped() {
+        let a = tree_of("int f(int a) { return a + 12345; }", Arch::X64);
+        let b = tree_of("int g(int zz) { return zz + 9; }", Arch::X64);
+        assert_eq!(a, b, "digitalization must ignore names and constant values");
+    }
+
+    #[test]
+    fn control_flow_nodes_appear() {
+        let t = tree_of(
+            "int f(int n) { int s = 0; while (n > 0) { if (n % 2 == 0) { s += ext(n); } \
+             n -= 1; } return s; }",
+            Arch::Ppc,
+        );
+        let h = t.label_histogram();
+        // PPC rotates loops, so the while comes back as a guarded do-while.
+        assert!(h[NodeType::While.label() as usize] + h[NodeType::DoWhile.label() as usize] >= 1);
+        assert!(h[NodeType::If.label() as usize] >= 1);
+        assert!(h[NodeType::Return.label() as usize] == 1);
+        assert!(h[NodeType::Call.label() as usize] >= 1);
+    }
+
+    #[test]
+    fn compound_assign_only_on_two_address_arches() {
+        // x64 (full inlining + two-address ALU) recovers `g += a`; ARM's
+        // three-address form decompiles to plain `g = g + a`.
+        let src = "int g = 0; int f(int a) { g = g + a; g = g + 1; g = g + 2; return g; }";
+        let x64 = tree_of(src, Arch::X64);
+        let arm = tree_of(src, Arch::Arm);
+        let hx = x64.label_histogram();
+        let ha = arm.label_histogram();
+        assert!(
+            hx[NodeType::AsgAdd.label() as usize] >= 1,
+            "x64 should show asgadd"
+        );
+        assert_eq!(ha[NodeType::AsgAdd.label() as usize], 0, "arm should not");
+    }
+
+    #[test]
+    fn cross_arch_trees_are_similar_but_not_identical_overall() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { \
+                   if (i % 3 == 0) { s += ext(i); } else { s -= 1; } } return s; }";
+        let trees: Vec<AstTree> = Arch::ALL.iter().map(|a| tree_of(src, *a)).collect();
+        let sizes: Vec<usize> = trees.iter().map(AstTree::size).collect();
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        // The x86 temp artifact makes the spread real but bounded.
+        assert!(max / min < 2.3, "sizes too divergent: {sizes:?}");
+    }
+
+    #[test]
+    fn switch_digitalizes_with_cases() {
+        let t = tree_of(
+            "int f(int x) { switch (x) { case 1: return 1; case 2: return 4; case 3: return 9; \
+             default: return 0; } }",
+            Arch::X64,
+        );
+        let h = t.label_histogram();
+        assert_eq!(h[NodeType::Switch.label() as usize], 1, "{t:?}");
+        assert_eq!(h[NodeType::Case.label() as usize], 4);
+    }
+
+    #[test]
+    fn ternary_appears_on_arm_only() {
+        let src = "int f(int a, int b) { int x = 0; if (a > b) { x = a; } else { x = b; } \
+                   return x; }";
+        let arm = tree_of(src, Arch::Arm);
+        let x64 = tree_of(src, Arch::X64);
+        assert!(arm.label_histogram()[NodeType::Ternary.label() as usize] >= 1);
+        assert_eq!(x64.label_histogram()[NodeType::Ternary.label() as usize], 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end extraction: binary → decompiled AST → digitalized,
+//! binarized tree + calibration features (Fig. 3 steps 1–2).
+
+use asteria_compiler::Binary;
+use asteria_decompiler::{callee_count, decompile_function, DecompileError};
+
+use crate::binarize::{binarize, BinTree};
+use crate::model::{calibrated_similarity, AsteriaModel};
+use crate::nodes::digitalize;
+
+/// Default inline filter β: callees with fewer machine instructions than
+/// this are considered inlining candidates and excluded from the callee
+/// count (paper §III-C).
+pub const DEFAULT_INLINE_BETA: usize = 6;
+
+/// Everything Asteria needs to know about one binary function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedFunction {
+    /// Display name (symbol or `sub_<offset>`).
+    pub name: String,
+    /// Digitalized, binarized AST.
+    pub tree: BinTree,
+    /// Calibration feature C: filtered callee count.
+    pub callee_count: usize,
+    /// AST size in nodes (the paper filters sizes < 5).
+    pub ast_size: usize,
+    /// Machine instructions in the function body.
+    pub inst_count: usize,
+    /// Basic blocks in the machine CFG (used by the Gemini comparison).
+    pub block_count: usize,
+}
+
+/// Extracts one function.
+///
+/// # Errors
+///
+/// Propagates decompilation failures.
+pub fn extract_function(
+    binary: &Binary,
+    sym: usize,
+    beta: usize,
+) -> Result<ExtractedFunction, DecompileError> {
+    let df = decompile_function(binary, sym)?;
+    let tree = digitalize(&df);
+    let ntree = binarize(&tree);
+    Ok(ExtractedFunction {
+        callee_count: callee_count(binary, &df, beta),
+        ast_size: ntree.size(),
+        inst_count: df.inst_count,
+        block_count: df.block_count,
+        name: df.name,
+        tree: ntree,
+    })
+}
+
+/// Extracts every defined function of a binary.
+///
+/// # Errors
+///
+/// Fails on the first function that cannot be decompiled.
+pub fn extract_binary(
+    binary: &Binary,
+    beta: usize,
+) -> Result<Vec<ExtractedFunction>, DecompileError> {
+    binary
+        .function_indices()
+        .into_iter()
+        .map(|i| extract_function(binary, i, beta))
+        .collect()
+}
+
+/// A cached function encoding: the offline product the paper stores for
+/// every firmware function (encoding vector + callee count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionEncoding {
+    /// Function display name.
+    pub name: String,
+    /// Tree-LSTM encoding of the AST.
+    pub vector: Vec<f32>,
+    /// Calibration feature C.
+    pub callee_count: usize,
+}
+
+/// Encodes an extracted function with a trained model.
+pub fn encode_function(model: &AsteriaModel, f: &ExtractedFunction) -> FunctionEncoding {
+    FunctionEncoding {
+        name: f.name.clone(),
+        vector: model.encode(&f.tree),
+        callee_count: f.callee_count,
+    }
+}
+
+/// The final calibrated similarity ℱ(F₁, F₂) between two cached encodings
+/// (paper eq. 10): Siamese similarity times the callee-count calibration.
+pub fn function_similarity(
+    model: &AsteriaModel,
+    a: &FunctionEncoding,
+    b: &FunctionEncoding,
+) -> f64 {
+    let m = model.similarity_from_encodings(&a.vector, &b.vector) as f64;
+    calibrated_similarity(m, a.callee_count, b.callee_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use asteria_compiler::{compile_program, Arch};
+    use asteria_lang::parse;
+
+    const SRC: &str = "int helper(int x) { int s = 0; for (int i = 0; i < x; i++) \
+                       { s += i * x; } return s; } \
+                       int f(int a) { if (a > 0) { return helper(a) + ext_io(a); } \
+                       return helper(0 - a); }";
+
+    #[test]
+    fn extraction_works_on_all_arches() {
+        let p = parse(SRC).unwrap();
+        for arch in Arch::ALL {
+            let b = compile_program(&p, arch).unwrap();
+            let fns = extract_binary(&b, DEFAULT_INLINE_BETA).unwrap();
+            assert_eq!(fns.len(), 2, "{arch}");
+            for f in &fns {
+                assert!(f.ast_size >= 5, "{arch}: {} too small", f.name);
+                assert_eq!(f.ast_size, f.tree.size());
+            }
+        }
+    }
+
+    #[test]
+    fn homologous_functions_have_bounded_tree_divergence() {
+        let p = parse(SRC).unwrap();
+        let mut sizes = Vec::new();
+        for arch in Arch::ALL {
+            let b = compile_program(&p, arch).unwrap();
+            let fns = extract_binary(&b, DEFAULT_INLINE_BETA).unwrap();
+            let f = fns.iter().find(|f| f.name == "f").unwrap();
+            sizes.push(f.ast_size);
+        }
+        let min = *sizes.iter().min().unwrap() as f64;
+        let max = *sizes.iter().max().unwrap() as f64;
+        // Cross-architecture ASTs differ (x86 temps, loop rotation) but
+        // remain the same order of magnitude — the regime the Tree-LSTM
+        // must bridge.
+        assert!(max / min < 2.5, "{sizes:?}");
+    }
+
+    #[test]
+    fn callee_counts_are_architecture_independent() {
+        // The paper's premise for the calibration feature.
+        let p = parse(SRC).unwrap();
+        let counts: Vec<usize> = Arch::ALL
+            .iter()
+            .map(|arch| {
+                let b = compile_program(&p, *arch).unwrap();
+                extract_function(&b, b.symbol_index("f").unwrap(), DEFAULT_INLINE_BETA)
+                    .unwrap()
+                    .callee_count
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn end_to_end_similarity_pipeline() {
+        let p = parse(SRC).unwrap();
+        let model = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            ..Default::default()
+        });
+        let bx = compile_program(&p, Arch::X86).unwrap();
+        let ba = compile_program(&p, Arch::Arm).unwrap();
+        let fx = extract_function(&bx, bx.symbol_index("f").unwrap(), DEFAULT_INLINE_BETA).unwrap();
+        let fa = extract_function(&ba, ba.symbol_index("f").unwrap(), DEFAULT_INLINE_BETA).unwrap();
+        let ex = encode_function(&model, &fx);
+        let ea = encode_function(&model, &fa);
+        let sim = function_similarity(&model, &ex, &ea);
+        assert!((0.0..=1.0).contains(&sim), "{sim}");
+        // Same callee counts → calibration factor 1, so the calibrated
+        // similarity equals the raw model similarity.
+        assert_eq!(ex.callee_count, ea.callee_count);
+        let raw = model.similarity_from_encodings(&ex.vector, &ea.vector) as f64;
+        assert!((sim - raw).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests on the core data structures: binarization
+//! invariants over arbitrary trees and encoder totality/determinism.
+
+use proptest::prelude::*;
+
+use asteria_core::nodes::AstTree;
+use asteria_core::{binarize, AsteriaModel, ModelConfig, NodeType};
+
+/// Builds a random tree from a parent-pointer list (index i attaches to
+/// some earlier node) plus per-node label picks.
+fn arb_tree() -> impl Strategy<Value = AstTree> {
+    proptest::collection::vec((0usize..10_000, 0usize..NodeType::VOCAB), 0..40).prop_map(|nodes| {
+        let all = NodeType::all();
+        let mut t = AstTree::with_root(NodeType::Block);
+        for (parent_seed, label_idx) in nodes {
+            let parent = (parent_seed % t.size()) as u32;
+            t.add(parent, all[label_idx]);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// LCRS binarization preserves node count and the label multiset.
+    #[test]
+    fn binarize_preserves_nodes(t in arb_tree()) {
+        let b = binarize(&t);
+        prop_assert_eq!(b.size(), t.size());
+        let mut la: Vec<u16> = (0..t.size() as u32).map(|i| t.label(i)).collect();
+        let mut lb: Vec<u16> = (0..b.size() as u32).map(|i| b.label(i)).collect();
+        la.sort_unstable();
+        lb.sort_unstable();
+        prop_assert_eq!(la, lb);
+    }
+
+    /// The binary tree reaches every node exactly once in post-order,
+    /// children always before parents.
+    #[test]
+    fn postorder_is_a_valid_schedule(t in arb_tree()) {
+        let b = binarize(&t);
+        let order = b.postorder();
+        prop_assert_eq!(order.len(), b.size());
+        let mut seen = vec![false; b.size()];
+        for &n in &order {
+            if let Some(l) = b.left(n) {
+                prop_assert!(seen[l as usize], "left child after parent");
+            }
+            if let Some(r) = b.right(n) {
+                prop_assert!(seen[r as usize], "right child after parent");
+            }
+            prop_assert!(!seen[n as usize], "node visited twice");
+            seen[n as usize] = true;
+        }
+    }
+
+    /// Depth never exceeds node count and LCRS never shrinks depth.
+    #[test]
+    fn binarize_depth_bounds(t in arb_tree()) {
+        let b = binarize(&t);
+        prop_assert!(b.depth() <= b.size());
+        prop_assert!(b.depth() >= t.depth());
+    }
+}
+
+proptest! {
+    // The encoder cases are slower; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Encoding is total, finite, and deterministic on arbitrary trees.
+    #[test]
+    fn encoder_is_total_and_deterministic(t in arb_tree()) {
+        let model = AsteriaModel::new(ModelConfig {
+            embed_dim: 8,
+            hidden_dim: 12,
+            ..Default::default()
+        });
+        let b = binarize(&t);
+        let v1 = model.encode(&b);
+        let v2 = model.encode(&b);
+        prop_assert_eq!(&v1, &v2);
+        prop_assert!(v1.iter().all(|x| x.is_finite()));
+        // Self-similarity of any tree is a valid probability.
+        let s = model.similarity_from_encodings(&v1, &v2);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+}

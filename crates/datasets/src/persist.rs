@@ -1,0 +1,157 @@
+//! Corpus persistence: write a cross-compiled corpus to a directory of
+//! SBF binaries and reload it later.
+//!
+//! Only the binaries and a small manifest are stored — function instances
+//! are *re-extracted* on load, which keeps the on-disk format trivial and
+//! guarantees the loaded corpus always reflects the current
+//! decompiler/extractor (extraction is deterministic).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use asteria_compiler::{Arch, Binary};
+use asteria_core::extract_binary;
+
+use crate::corpus::{Corpus, CorpusBinary, FunctionInstance};
+
+/// Writes every binary of a corpus into `dir` (created if missing) as
+/// `<package>.<arch>.sbf`, plus a `manifest.tsv` listing them.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_corpus(corpus: &Corpus, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut manifest = String::new();
+    for cb in &corpus.binaries {
+        let file = format!("{}.{}.sbf", cb.package, cb.arch);
+        let mut buf = Vec::new();
+        cb.binary.save(&mut buf)?;
+        fs::write(dir.join(&file), buf)?;
+        manifest.push_str(&format!("{}\t{}\t{}\n", cb.package, cb.arch, file));
+    }
+    fs::write(dir.join("manifest.tsv"), manifest)?;
+    Ok(())
+}
+
+/// Loads a corpus previously written by [`save_corpus`], re-extracting
+/// every function with the given inline filter β and AST-size floor.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed manifests or binaries, and
+/// propagates filesystem errors. Extraction failures become
+/// `InvalidData` (they indicate a corrupted binary).
+pub fn load_corpus(dir: &Path, beta: usize, min_ast_size: usize) -> io::Result<Corpus> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let manifest = fs::read_to_string(dir.join("manifest.tsv"))?;
+    let mut corpus = Corpus::default();
+    for (lineno, line) in manifest.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (package, arch_name, file) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(p), Some(a), Some(f)) => (p, a, f),
+            _ => return Err(bad(format!("manifest line {} malformed", lineno + 1))),
+        };
+        let arch = Arch::from_name(arch_name)
+            .ok_or_else(|| bad(format!("unknown architecture {arch_name}")))?;
+        let bytes = fs::read(dir.join(file))?;
+        let binary = Binary::load(bytes.as_slice())?;
+        if binary.arch != arch {
+            return Err(bad(format!("{file}: architecture mismatch")));
+        }
+        let extracted = extract_binary(&binary, beta)
+            .map_err(|e| bad(format!("{file}: extraction failed: {e}")))?;
+        for f in extracted {
+            if f.ast_size < min_ast_size {
+                corpus.filtered_out += 1;
+                continue;
+            }
+            corpus.instances.push(FunctionInstance {
+                package: package.to_string(),
+                name: f.name.clone(),
+                arch,
+                extracted: f,
+            });
+        }
+        corpus.binaries.push(CorpusBinary {
+            package: package.to_string(),
+            arch,
+            binary,
+        });
+    }
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build_corpus, CorpusConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("asteria_persist_{}_{tag}", std::process::id()));
+        p
+    }
+
+    fn small() -> Corpus {
+        build_corpus(&CorpusConfig {
+            packages: 2,
+            functions_per_package: 3,
+            seed: 77,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_everything() {
+        let corpus = small();
+        let dir = temp_dir("roundtrip");
+        save_corpus(&corpus, &dir).unwrap();
+        let loaded = load_corpus(&dir, 6, 5).unwrap();
+        assert_eq!(loaded.binaries.len(), corpus.binaries.len());
+        assert_eq!(loaded.instances.len(), corpus.instances.len());
+        for (a, b) in corpus.instances.iter().zip(&loaded.instances) {
+            assert_eq!(a.identity(), b.identity());
+            assert_eq!(a.arch, b.arch);
+            assert_eq!(a.extracted.tree, b.extracted.tree);
+            assert_eq!(a.extracted.callee_count, b.extracted.callee_count);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_applies_size_filter() {
+        let corpus = small();
+        let dir = temp_dir("filter");
+        save_corpus(&corpus, &dir).unwrap();
+        let strict = load_corpus(&dir, 6, 10_000).unwrap();
+        assert!(strict.instances.is_empty());
+        assert!(strict.filtered_out > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_missing_manifest() {
+        let dir = temp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load_corpus(&dir, 6, 5).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_binary() {
+        let corpus = small();
+        let dir = temp_dir("corrupt");
+        save_corpus(&corpus, &dir).unwrap();
+        // Truncate one binary file.
+        let manifest = fs::read_to_string(dir.join("manifest.tsv")).unwrap();
+        let victim = manifest.lines().next().unwrap().split('\t').nth(2).unwrap();
+        fs::write(dir.join(victim), b"SBF1").unwrap();
+        assert!(load_corpus(&dir, 6, 5).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,314 @@
+//! The decompiled AST — the data structure the whole paper revolves around.
+//!
+//! This is *not* the same type as the source AST in `asteria-lang`: it is
+//! what a decompiler can actually recover from machine code. Variables are
+//! anonymous slots (`v12`), parameters are positional (`a0`), loops come
+//! back as `while`/`do-while` (a source `for` is generally recovered as
+//! `while`), two-address machine code surfaces as compound assignments, and
+//! ARM's conditional selects surface as ternary [`DExpr::Select`]
+//! expressions. Structuring failures fall back to `goto`, exactly as in
+//! Hex-Rays output (the paper's Table I includes a `goto` node for the same
+//! reason).
+
+use std::fmt;
+
+use asteria_lang::{BinOp, UnOp};
+
+/// What a recovered variable refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarRef {
+    /// Incoming parameter `index`.
+    Param(u32),
+    /// Stack-frame slot (local or compiler temporary).
+    Local(u32),
+    /// Global data slot.
+    Global(u32),
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarRef::Param(i) => write!(f, "a{i}"),
+            VarRef::Local(i) => write!(f, "v{i}"),
+            VarRef::Global(i) => write!(f, "g{i}"),
+        }
+    }
+}
+
+/// A decompiled expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DExpr {
+    /// Integer constant.
+    Num(i64),
+    /// String-table reference.
+    Str(u32),
+    /// Variable read.
+    Var(VarRef),
+    /// Array element read: `array_base[idx]`.
+    Index(u32, Box<DExpr>),
+    /// Call; `sym` indexes the binary's symbol table.
+    Call {
+        /// Callee symbol index.
+        sym: u32,
+        /// Argument expressions.
+        args: Vec<DExpr>,
+    },
+    /// Unary operation.
+    Un(UnOp, Box<DExpr>),
+    /// Binary operation (never `&&`/`||`; those come back as control flow).
+    Bin(BinOp, Box<DExpr>, Box<DExpr>),
+    /// Ternary `c ? a : b` (from conditional-select instructions).
+    Select(Box<DExpr>, Box<DExpr>, Box<DExpr>),
+    /// Integer-width cast artifact. Only some architectures' lifters emit
+    /// these (x64 call arguments), mirroring how Hex-Rays decorates
+    /// different ISAs' output differently.
+    Cast(Box<DExpr>),
+}
+
+impl DExpr {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(op: BinOp, a: DExpr, b: DExpr) -> DExpr {
+        DExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Number of nodes in this expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            DExpr::Num(_) | DExpr::Str(_) | DExpr::Var(_) => 1,
+            DExpr::Cast(e) => 1 + e.size(),
+            DExpr::Index(_, i) => 2 + i.size(),
+            DExpr::Call { args, .. } => 1 + args.iter().map(DExpr::size).sum::<usize>(),
+            DExpr::Un(_, e) => 1 + e.size(),
+            DExpr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            DExpr::Select(c, a, b) => 1 + c.size() + a.size() + b.size(),
+        }
+    }
+
+    /// All variables read by this expression.
+    pub fn reads(&self, out: &mut Vec<VarRef>) {
+        match self {
+            DExpr::Num(_) | DExpr::Str(_) => {}
+            DExpr::Var(v) => out.push(*v),
+            DExpr::Index(base, i) => {
+                out.push(VarRef::Local(*base));
+                i.reads(out);
+            }
+            DExpr::Call { args, .. } => {
+                for a in args {
+                    a.reads(out);
+                }
+            }
+            DExpr::Un(_, e) | DExpr::Cast(e) => e.reads(out),
+            DExpr::Bin(_, a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            DExpr::Select(c, a, b) => {
+                c.reads(out);
+                a.reads(out);
+                b.reads(out);
+            }
+        }
+    }
+
+    /// True when the expression contains a call (and therefore must not be
+    /// duplicated or reordered across side effects).
+    pub fn has_call(&self) -> bool {
+        match self {
+            DExpr::Num(_) | DExpr::Str(_) | DExpr::Var(_) => false,
+            DExpr::Index(_, i) => i.has_call(),
+            DExpr::Call { .. } => true,
+            DExpr::Un(_, e) | DExpr::Cast(e) => e.has_call(),
+            DExpr::Bin(_, a, b) => a.has_call() || b.has_call(),
+            DExpr::Select(c, a, b) => c.has_call() || a.has_call() || b.has_call(),
+        }
+    }
+}
+
+/// The target of a decompiled assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DPlace {
+    /// A scalar variable.
+    Var(VarRef),
+    /// An array element.
+    Index(u32, Box<DExpr>),
+}
+
+impl DPlace {
+    /// Node count contribution of this place.
+    pub fn size(&self) -> usize {
+        match self {
+            DPlace::Var(_) => 1,
+            DPlace::Index(_, i) => 2 + i.size(),
+        }
+    }
+}
+
+/// Assignment flavour in decompiled output. Plain assignment plus the
+/// compound forms the paper's Table I lists ("asgs", labels 10–17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DAssignOp {
+    /// `=`
+    Assign,
+    /// `|=`, `^=`, `&=`, `+=`, `-=`, `*=`, `/=` carried by the operator.
+    Compound(BinOp),
+}
+
+/// A case arm of a recovered switch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DSwitchCase {
+    /// Case constant; `None` for the default arm.
+    pub value: Option<i64>,
+    /// Arm body.
+    pub body: Vec<DStmt>,
+}
+
+/// A decompiled statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DStmt {
+    /// `place op= expr;`
+    Assign(DAssignOp, DPlace, DExpr),
+    /// Expression evaluated for its side effects (almost always a call).
+    Expr(DExpr),
+    /// `if (cond) { then } else { else }`
+    If(DExpr, Vec<DStmt>, Vec<DStmt>),
+    /// `while (cond) { body }`
+    While(DExpr, Vec<DStmt>),
+    /// `do { body } while (cond);`
+    DoWhile(Vec<DStmt>, DExpr),
+    /// Recovered `switch`.
+    Switch(DExpr, Vec<DSwitchCase>),
+    /// `return expr;`
+    Return(Option<DExpr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Structuring fallback.
+    Goto(u32),
+    /// Jump target for [`DStmt::Goto`].
+    Label(u32),
+}
+
+impl DStmt {
+    /// Number of AST nodes in this statement subtree (statements and
+    /// expressions both count, matching the paper's AST-size statistic).
+    pub fn size(&self) -> usize {
+        fn body(b: &[DStmt]) -> usize {
+            b.iter().map(DStmt::size).sum()
+        }
+        match self {
+            DStmt::Assign(_, p, e) => 1 + p.size() + e.size(),
+            DStmt::Expr(e) => e.size(),
+            DStmt::If(c, t, e) => 1 + c.size() + body(t) + body(e),
+            DStmt::While(c, b) => 1 + c.size() + body(b),
+            DStmt::DoWhile(b, c) => 1 + c.size() + body(b),
+            DStmt::Switch(s, cases) => {
+                1 + s.size() + cases.iter().map(|c| body(&c.body)).sum::<usize>()
+            }
+            DStmt::Return(Some(e)) => 1 + e.size(),
+            DStmt::Return(None)
+            | DStmt::Break
+            | DStmt::Continue
+            | DStmt::Goto(_)
+            | DStmt::Label(_) => 1,
+        }
+    }
+}
+
+/// A fully decompiled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DFunction {
+    /// Display name (symbol name or `sub_<offset>` when stripped).
+    pub name: String,
+    /// Declared parameter count.
+    pub param_count: u32,
+    /// Recovered body.
+    pub body: Vec<DStmt>,
+    /// Symbol indices of distinct call targets (before any inline filter).
+    pub callees: Vec<u32>,
+    /// Number of machine instructions in the function.
+    pub inst_count: usize,
+    /// Number of basic blocks in the machine CFG.
+    pub block_count: usize,
+}
+
+impl DFunction {
+    /// Total AST size (number of nodes) of the decompiled body, plus one
+    /// for the implicit function/block root — the paper filters ASTs with
+    /// fewer than 5 nodes using this measure.
+    pub fn ast_size(&self) -> usize {
+        1 + self.body.iter().map(DStmt::size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_size_counts_nodes() {
+        // v0 + (a1 * 3) → 5 nodes
+        let e = DExpr::bin(
+            BinOp::Add,
+            DExpr::Var(VarRef::Local(0)),
+            DExpr::bin(BinOp::Mul, DExpr::Var(VarRef::Param(1)), DExpr::Num(3)),
+        );
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn select_counts_three_children() {
+        let s = DExpr::Select(
+            Box::new(DExpr::Var(VarRef::Local(0))),
+            Box::new(DExpr::Num(1)),
+            Box::new(DExpr::Num(2)),
+        );
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn stmt_size_recurses() {
+        let s = DStmt::If(
+            DExpr::Var(VarRef::Param(0)),
+            vec![DStmt::Return(Some(DExpr::Num(1)))],
+            vec![DStmt::Break],
+        );
+        // if(1) + cond(1) + return(1+1) + break(1) = 5
+        assert_eq!(s.size(), 5);
+    }
+
+    #[test]
+    fn reads_collects_variables() {
+        let e = DExpr::bin(
+            BinOp::Add,
+            DExpr::Var(VarRef::Param(0)),
+            DExpr::Index(3, Box::new(DExpr::Var(VarRef::Local(7)))),
+        );
+        let mut reads = Vec::new();
+        e.reads(&mut reads);
+        assert!(reads.contains(&VarRef::Param(0)));
+        assert!(reads.contains(&VarRef::Local(3)));
+        assert!(reads.contains(&VarRef::Local(7)));
+    }
+
+    #[test]
+    fn has_call_detects_nested_calls() {
+        let e = DExpr::Un(
+            UnOp::Neg,
+            Box::new(DExpr::Call {
+                sym: 2,
+                args: vec![DExpr::Num(1)],
+            }),
+        );
+        assert!(e.has_call());
+        assert!(!DExpr::Num(3).has_call());
+    }
+
+    #[test]
+    fn varref_display_names() {
+        assert_eq!(VarRef::Param(2).to_string(), "a2");
+        assert_eq!(VarRef::Local(9).to_string(), "v9");
+        assert_eq!(VarRef::Global(0).to_string(), "g0");
+    }
+}

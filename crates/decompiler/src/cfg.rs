@@ -1,0 +1,399 @@
+//! Machine-level control-flow graph recovery and graph analyses.
+//!
+//! Works on decoded instruction streams (the output of
+//! [`asteria_compiler::decode_function`]): finds basic-block leaders,
+//! builds the CFG, and provides dominator / postdominator / natural-loop
+//! analyses for the structurer.
+
+use std::collections::BTreeSet;
+
+use asteria_compiler::MInst;
+
+/// How a machine basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermKind {
+    /// Conditional branch: two successors `[taken, fallthrough]`.
+    Cond,
+    /// One successor (explicit jump or fallthrough).
+    Jump,
+    /// Function return; no successors.
+    Ret,
+}
+
+/// A machine basic block: a half-open instruction range plus edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block indices (0, 1, or 2 entries).
+    pub succs: Vec<usize>,
+    /// Terminator classification.
+    pub term: TermKind,
+}
+
+/// A recovered control-flow graph. Block 0 is the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Basic blocks in address order.
+    pub blocks: Vec<CfgBlock>,
+}
+
+impl Cfg {
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in &b.succs {
+                preds[*s].push(i);
+            }
+        }
+        preds
+    }
+
+    /// Reverse postorder of blocks reachable from the entry.
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::new();
+        // Iterative DFS with an explicit stack of (node, next-child).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some((node, child)) = stack.pop() {
+            if child < self.blocks[node].succs.len() {
+                stack.push((node, child + 1));
+                let s = self.blocks[node].succs[child];
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(node);
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Builds the CFG of a decoded function body.
+///
+/// Leaders are the entry, branch targets, and instructions following a
+/// branch. Blocks that merely forward (`jmp`-only) are kept — the
+/// structurer sees exactly what the disassembly implies.
+pub fn build_cfg(insts: &[MInst]) -> Cfg {
+    assert!(!insts.is_empty(), "cannot build a CFG of an empty function");
+    let leaders = asteria_compiler::block_boundaries(insts);
+    let starts: Vec<u32> = leaders.clone();
+    let block_of = |inst: u32| -> usize {
+        match starts.binary_search(&inst) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    };
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (bi, &start) in starts.iter().enumerate() {
+        let end = starts.get(bi + 1).copied().unwrap_or(insts.len() as u32);
+        let last = &insts[(end - 1) as usize];
+        let (succs, term) = match last {
+            MInst::Ret => (vec![], TermKind::Ret),
+            MInst::Jmp(t) => (vec![block_of(*t)], TermKind::Jump),
+            MInst::Brnz(_, t) => {
+                let taken = block_of(*t);
+                let fall = block_of(end);
+                (vec![taken, fall], TermKind::Cond)
+            }
+            _ => {
+                // Fallthrough into the next block.
+                if (end as usize) < insts.len() {
+                    (vec![bi + 1], TermKind::Jump)
+                } else {
+                    (vec![], TermKind::Ret)
+                }
+            }
+        };
+        blocks.push(CfgBlock {
+            start,
+            end,
+            succs,
+            term,
+        });
+    }
+    Cfg { blocks }
+}
+
+/// Immediate dominators (Cooper–Harvey–Kennedy). Entry's idom is itself;
+/// unreachable blocks get `usize::MAX`.
+pub fn dominators(cfg: &Cfg) -> Vec<usize> {
+    let rpo = cfg.reverse_postorder();
+    let mut order_of = vec![usize::MAX; cfg.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        order_of[*b] = i;
+    }
+    let preds = cfg.preds();
+    let mut idom = vec![usize::MAX; cfg.blocks.len()];
+    idom[0] = 0;
+    let intersect = |mut a: usize, mut b: usize, idom: &[usize], order_of: &[usize]| {
+        while a != b {
+            while order_of[a] > order_of[b] {
+                a = idom[a];
+            }
+            while order_of[b] > order_of[a] {
+                b = idom[b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = usize::MAX;
+            for &p in &preds[b] {
+                if idom[p] != usize::MAX {
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(p, new_idom, &idom, &order_of)
+                    };
+                }
+            }
+            if new_idom != usize::MAX && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// True when `a` dominates `b` under the given idom tree.
+pub fn dominates(idom: &[usize], a: usize, b: usize) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        if cur == idom[cur] || idom[cur] == usize::MAX {
+            return cur == a;
+        }
+        cur = idom[cur];
+    }
+}
+
+/// Immediate postdominators computed against a virtual exit that all
+/// return blocks feed. `None` marks blocks postdominated only by the
+/// virtual exit.
+pub fn postdominators(cfg: &Cfg) -> Vec<Option<usize>> {
+    let n = cfg.blocks.len();
+    // Build the reverse graph with virtual exit node `n`.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (i, b) in cfg.blocks.iter().enumerate() {
+        if b.succs.is_empty() {
+            succs[n].push(i); // reverse edge exit→ret-block
+        }
+        for s in &b.succs {
+            succs[*s].push(i); // reversed
+        }
+    }
+    // Postorder from exit on the reversed graph.
+    let mut visited = vec![false; n + 1];
+    let mut post = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(n, 0)];
+    visited[n] = true;
+    while let Some((node, child)) = stack.pop() {
+        if child < succs[node].len() {
+            stack.push((node, child + 1));
+            let s = succs[node][child];
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(node);
+        }
+    }
+    post.reverse(); // now RPO of the reversed graph
+    let mut order_of = vec![usize::MAX; n + 1];
+    for (i, b) in post.iter().enumerate() {
+        order_of[*b] = i;
+    }
+    let mut ipdom = vec![usize::MAX; n + 1];
+    ipdom[n] = n;
+    let intersect = |mut a: usize, mut b: usize, ipdom: &[usize], order_of: &[usize]| {
+        while a != b {
+            while order_of[a] > order_of[b] {
+                a = ipdom[a];
+            }
+            while order_of[b] > order_of[a] {
+                b = ipdom[b];
+            }
+        }
+        a
+    };
+    // Forward preds in the reversed graph = forward succs + virtual edges.
+    let mut rpreds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for (node, ss) in succs.iter().enumerate() {
+        for s in ss {
+            rpreds[*s].push(node);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in post.iter().skip(1) {
+            let mut new = usize::MAX;
+            for &p in &rpreds[b] {
+                if ipdom[p] != usize::MAX && order_of[p] != usize::MAX {
+                    new = if new == usize::MAX {
+                        p
+                    } else {
+                        intersect(p, new, &ipdom, &order_of)
+                    };
+                }
+            }
+            if new != usize::MAX && ipdom[b] != new {
+                ipdom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    (0..n)
+        .map(|b| {
+            let p = ipdom[b];
+            if p == usize::MAX || p == n {
+                None
+            } else {
+                Some(p)
+            }
+        })
+        .collect()
+}
+
+/// Back edges `(latch, header)` where the header dominates the latch.
+pub fn back_edges(cfg: &Cfg, idom: &[usize]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, b) in cfg.blocks.iter().enumerate() {
+        for &s in &b.succs {
+            if dominates(idom, s, i) {
+                out.push((i, s));
+            }
+        }
+    }
+    out
+}
+
+/// The natural loop of a back edge: header plus all blocks that reach the
+/// latch without passing through the header.
+pub fn natural_loop(cfg: &Cfg, latch: usize, header: usize) -> BTreeSet<usize> {
+    let preds = cfg.preds();
+    let mut set = BTreeSet::new();
+    set.insert(header);
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if set.insert(b) {
+            for &p in &preds[b] {
+                stack.push(p);
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asteria_compiler::{compile_program, decode_function, Arch};
+    use asteria_lang::parse;
+
+    fn cfg_of(src: &str, arch: Arch) -> Cfg {
+        let p = parse(src).unwrap();
+        let b = compile_program(&p, arch).unwrap();
+        let idx = b.function_indices()[0];
+        let insts = decode_function(&b.symbols[idx].code, arch).unwrap();
+        build_cfg(&insts)
+    }
+
+    #[test]
+    fn straightline_is_single_block() {
+        let cfg = cfg_of("int f(int a) { return a + 1; }", Arch::X86);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].term, TermKind::Ret);
+    }
+
+    #[test]
+    fn diamond_has_cond_block() {
+        let cfg = cfg_of(
+            "int f(int a) { if (a > 0) { return ext(a); } else { return ext2(a); } }",
+            Arch::X86,
+        );
+        assert!(cfg.blocks.iter().any(|b| b.term == TermKind::Cond));
+        let conds: Vec<_> = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.term == TermKind::Cond)
+            .collect();
+        assert_eq!(conds[0].succs.len(), 2);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let cfg = cfg_of(
+            "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
+            Arch::Ppc,
+        );
+        let idom = dominators(&cfg);
+        let be = back_edges(&cfg, &idom);
+        assert_eq!(be.len(), 1, "expected exactly one back edge: {be:?}");
+        let (latch, header) = be[0];
+        let l = natural_loop(&cfg, latch, header);
+        assert!(l.len() >= 2);
+        assert!(l.contains(&header) && l.contains(&latch));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let cfg = cfg_of(
+            "int g = 0; int f(int a) { if (a > 0) { g = 1; } else { g = 2; } return g; }",
+            Arch::X64,
+        );
+        let idom = dominators(&cfg);
+        // Entry dominates everything.
+        for b in 0..cfg.blocks.len() {
+            assert!(dominates(&idom, 0, b), "entry must dominate block {b}");
+        }
+    }
+
+    #[test]
+    fn postdominator_of_diamond_is_join() {
+        let cfg = cfg_of(
+            "int g = 0; int f(int a) { if (a > 0) { g = 1; } else { g = 2; } return g; }",
+            Arch::X64,
+        );
+        let cond = cfg
+            .blocks
+            .iter()
+            .position(|b| b.term == TermKind::Cond)
+            .expect("cond block");
+        let ipdom = postdominators(&cfg);
+        let j = ipdom[cond].expect("cond must have a postdominator");
+        // Both arms flow into j.
+        let preds = cfg.preds();
+        assert!(
+            preds[j].len() >= 2,
+            "join {j} should have 2+ preds: {preds:?}"
+        );
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let cfg = cfg_of(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { if (i % 2) { s += i; } } \
+             return s; }",
+            Arch::Arm,
+        );
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), cfg.blocks.len());
+    }
+}

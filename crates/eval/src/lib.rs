@@ -1,0 +1,19 @@
+//! `asteria-eval` — evaluation metrics and timing utilities.
+//!
+//! Implements the paper's §IV-D measurement machinery: ROC curves from
+//! scored pairs, AUC via the Mann–Whitney formulation, TPR at a fixed FPR
+//! (the paper quotes TPR at 5% FPR), the Youden index J = TPR − FPR used
+//! to pick the vulnerability-search threshold (§V), CDF construction for
+//! the Fig. 10(a) AST-size study, and wall-clock timing helpers for the
+//! Fig. 10(b)/(c) overhead studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod stats;
+pub mod timing;
+
+pub use metrics::{auc, roc_curve, tpr_at_fpr, youden_threshold, RocPoint, ScoredPair};
+pub use stats::{cdf_points, percentile, Summary};
+pub use timing::{measure, measure_n, Timing};

@@ -1,0 +1,237 @@
+//! ROC / AUC / Youden-index metrics (paper §IV-D).
+
+/// A scored example: model similarity plus ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// Similarity score `r` in `[0, 1]`.
+    pub score: f64,
+    /// True for homologous pairs.
+    pub positive: bool,
+}
+
+impl ScoredPair {
+    /// Convenience constructor.
+    pub fn new(score: f64, positive: bool) -> Self {
+        ScoredPair { score, positive }
+    }
+}
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold β producing this point.
+    pub threshold: f64,
+    /// False-positive rate at β.
+    pub fpr: f64,
+    /// True-positive rate at β.
+    pub tpr: f64,
+}
+
+fn sorted_desc(pairs: &[ScoredPair]) -> Vec<ScoredPair> {
+    let mut v = pairs.to_vec();
+    v.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    v
+}
+
+/// Computes the ROC curve by sweeping the threshold over every distinct
+/// score (plus the endpoints `(0,0)` and `(1,1)`).
+///
+/// # Panics
+///
+/// Panics if `pairs` contains no positives or no negatives (the curve is
+/// undefined), or if any score is NaN.
+pub fn roc_curve(pairs: &[ScoredPair]) -> Vec<RocPoint> {
+    let pos = pairs.iter().filter(|p| p.positive).count();
+    let neg = pairs.len() - pos;
+    assert!(pos > 0, "ROC requires at least one positive");
+    assert!(neg > 0, "ROC requires at least one negative");
+    let sorted = sorted_desc(pairs);
+    let mut out = vec![RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < sorted.len() {
+        let s = sorted[i].score;
+        // Consume all pairs tied at this score before emitting a point.
+        while i < sorted.len() && sorted[i].score == s {
+            if sorted[i].positive {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        out.push(RocPoint {
+            threshold: s,
+            fpr: fp as f64 / neg as f64,
+            tpr: tp as f64 / pos as f64,
+        });
+    }
+    out
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic — the
+/// probability that a random positive outscores a random negative, with
+/// ties counting half.
+///
+/// # Panics
+///
+/// Panics when either class is empty.
+pub fn auc(pairs: &[ScoredPair]) -> f64 {
+    let pos: Vec<f64> = pairs
+        .iter()
+        .filter(|p| p.positive)
+        .map(|p| p.score)
+        .collect();
+    let neg: Vec<f64> = pairs
+        .iter()
+        .filter(|p| !p.positive)
+        .map(|p| p.score)
+        .collect();
+    assert!(!pos.is_empty(), "AUC requires at least one positive");
+    assert!(!neg.is_empty(), "AUC requires at least one negative");
+    // Sort negatives once; count via binary search: O((m+n) log n).
+    let mut sneg = neg.clone();
+    sneg.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let mut u = 0.0f64;
+    for p in &pos {
+        let below = sneg.partition_point(|x| x < p);
+        let equal = sneg.partition_point(|x| x <= p) - below;
+        u += below as f64 + equal as f64 * 0.5;
+    }
+    u / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// TPR at the largest threshold whose FPR does not exceed `max_fpr`
+/// (the paper quotes "TPR 93.2% at 5% FPR").
+pub fn tpr_at_fpr(pairs: &[ScoredPair], max_fpr: f64) -> f64 {
+    roc_curve(pairs)
+        .iter()
+        .filter(|p| p.fpr <= max_fpr)
+        .map(|p| p.tpr)
+        .fold(0.0, f64::max)
+}
+
+/// The threshold maximizing the Youden index J = TPR − FPR (§V).
+/// Returns `(threshold, j_statistic)`.
+pub fn youden_threshold(pairs: &[ScoredPair]) -> (f64, f64) {
+    let mut best = (0.5, f64::NEG_INFINITY);
+    for p in roc_curve(pairs) {
+        if p.threshold.is_finite() {
+            let j = p.tpr - p.fpr;
+            if j > best.1 {
+                best = (p.threshold, j);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> Vec<ScoredPair> {
+        (0..10)
+            .map(|i| ScoredPair::new(if i < 5 { 0.9 } else { 0.1 }, i < 5))
+            .collect()
+    }
+
+    fn random_like() -> Vec<ScoredPair> {
+        // Positives and negatives share identical score distributions.
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push(ScoredPair::new(i as f64 / 10.0, true));
+            v.push(ScoredPair::new(i as f64 / 10.0, false));
+        }
+        v
+    }
+
+    #[test]
+    fn auc_of_perfect_classifier_is_one() {
+        assert_eq!(auc(&perfect()), 1.0);
+    }
+
+    #[test]
+    fn auc_of_random_classifier_is_half() {
+        assert!((auc(&random_like()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_inverted_classifier_is_zero() {
+        let inverted: Vec<ScoredPair> = perfect()
+            .iter()
+            .map(|p| ScoredPair::new(1.0 - p.score, p.positive))
+            .collect();
+        assert_eq!(auc(&inverted), 0.0);
+    }
+
+    #[test]
+    fn roc_starts_at_origin_and_ends_at_one_one() {
+        let roc = roc_curve(&perfect());
+        let first = roc.first().unwrap();
+        let last = roc.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn roc_is_monotone() {
+        let roc = roc_curve(&random_like());
+        for w in roc.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn tpr_at_fpr_perfect() {
+        assert_eq!(tpr_at_fpr(&perfect(), 0.05), 1.0);
+    }
+
+    #[test]
+    fn tpr_at_fpr_zero_budget_can_be_zero() {
+        // Highest-scored item is a negative → nothing achievable at fpr=0.
+        let pairs = vec![
+            ScoredPair::new(0.99, false),
+            ScoredPair::new(0.5, true),
+            ScoredPair::new(0.1, false),
+        ];
+        assert_eq!(tpr_at_fpr(&pairs, 0.0), 0.0);
+    }
+
+    #[test]
+    fn youden_picks_separating_threshold() {
+        let (thr, j) = youden_threshold(&perfect());
+        assert!((0.1..=0.9).contains(&thr), "{thr}");
+        assert_eq!(j, 1.0);
+    }
+
+    #[test]
+    fn auc_handles_ties_as_half() {
+        let pairs = vec![ScoredPair::new(0.5, true), ScoredPair::new(0.5, false)];
+        assert_eq!(auc(&pairs), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn auc_requires_positives() {
+        auc(&[ScoredPair::new(0.3, false)]);
+    }
+
+    #[test]
+    fn auc_matches_rank_statistic_on_known_example() {
+        // pos = {0.8, 0.6}, neg = {0.7, 0.1}
+        // pairs won: (0.8>0.7),(0.8>0.1),(0.6<0.7 →0),(0.6>0.1) = 3/4
+        let pairs = vec![
+            ScoredPair::new(0.8, true),
+            ScoredPair::new(0.6, true),
+            ScoredPair::new(0.7, false),
+            ScoredPair::new(0.1, false),
+        ];
+        assert_eq!(auc(&pairs), 0.75);
+    }
+}

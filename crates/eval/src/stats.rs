@@ -1,0 +1,112 @@
+//! Distribution statistics: CDFs (Fig. 10a) and summaries.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Some(Summary {
+            n: v.len(),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            min: v[0],
+            median: percentile(&v, 50.0),
+            max: *v.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Percentile of a **sorted** sample by nearest-rank.
+///
+/// # Panics
+///
+/// Panics on an empty sample or a percentile outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Builds an empirical CDF as `(value, fraction ≤ value)` points — the
+/// form of the paper's Fig. 10(a) AST-size distribution.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, x) in v.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some((lx, lf)) if lx == x => *lf = frac,
+            _ => out.push((*x, frac)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 25.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_reaches_one_and_dedups() {
+        let pts = cdf_points(&[1.0, 1.0, 2.0, 5.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 0.5));
+        assert_eq!(*pts.last().unwrap(), (5.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let pts = cdf_points(&[5.0, 3.0, 9.0, 1.0, 3.0]);
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Wall-clock measurement helpers for the Fig. 10(b)/(c) timing studies.
+
+use std::time::Instant;
+
+/// A timing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Number of operations measured.
+    pub iterations: u64,
+    /// Total elapsed seconds.
+    pub total_seconds: f64,
+}
+
+impl Timing {
+    /// Mean seconds per operation.
+    pub fn per_op(&self) -> f64 {
+        self.total_seconds / self.iterations.max(1) as f64
+    }
+}
+
+/// Measures one invocation of `f`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Timing) {
+    let start = Instant::now();
+    let out = f();
+    let total = start.elapsed().as_secs_f64();
+    (
+        out,
+        Timing {
+            iterations: 1,
+            total_seconds: total,
+        },
+    )
+}
+
+/// Measures `n` invocations, returning the aggregate timing. A black-box
+/// sink keeps the optimizer from deleting the work.
+pub fn measure_n(n: u64, mut f: impl FnMut() -> f64) -> Timing {
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..n {
+        sink += f();
+    }
+    let total = start.elapsed().as_secs_f64();
+    // Defeat dead-code elimination without a nightly black_box.
+    if sink.is_nan() {
+        eprintln!("impossible: {sink}");
+    }
+    Timing {
+        iterations: n,
+        total_seconds: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_value_and_positive_time() {
+        let (v, t) = measure(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t.total_seconds >= 0.0);
+        assert_eq!(t.iterations, 1);
+    }
+
+    #[test]
+    fn measure_n_accumulates_iterations() {
+        let t = measure_n(100, || 1.0);
+        assert_eq!(t.iterations, 100);
+        assert!(t.per_op() >= 0.0);
+    }
+
+    #[test]
+    fn per_op_divides_total() {
+        let t = Timing {
+            iterations: 4,
+            total_seconds: 2.0,
+        };
+        assert_eq!(t.per_op(), 0.5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the metric implementations.
+
+use proptest::prelude::*;
+
+use asteria_eval::{auc, cdf_points, roc_curve, tpr_at_fpr, youden_threshold, ScoredPair};
+
+fn arb_pairs() -> impl Strategy<Value = Vec<ScoredPair>> {
+    proptest::collection::vec((0.0f64..=1.0, any::<bool>()), 2..200).prop_filter_map(
+        "need both classes",
+        |v| {
+            let pairs: Vec<ScoredPair> =
+                v.into_iter().map(|(s, p)| ScoredPair::new(s, p)).collect();
+            let pos = pairs.iter().filter(|p| p.positive).count();
+            if pos == 0 || pos == pairs.len() {
+                None
+            } else {
+                Some(pairs)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// AUC is always a probability.
+    #[test]
+    fn auc_in_unit_interval(pairs in arb_pairs()) {
+        let a = auc(&pairs);
+        prop_assert!((0.0..=1.0).contains(&a), "{a}");
+    }
+
+    /// Inverting all scores flips AUC around one half.
+    #[test]
+    fn auc_inversion_symmetry(pairs in arb_pairs()) {
+        let a = auc(&pairs);
+        let inverted: Vec<ScoredPair> = pairs
+            .iter()
+            .map(|p| ScoredPair::new(1.0 - p.score, p.positive))
+            .collect();
+        let b = auc(&inverted);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    /// ROC curves are monotone staircases from (0,0) to (1,1).
+    #[test]
+    fn roc_is_monotone_staircase(pairs in arb_pairs()) {
+        let roc = roc_curve(&pairs);
+        prop_assert_eq!((roc[0].fpr, roc[0].tpr), (0.0, 0.0));
+        let last = roc.last().unwrap();
+        prop_assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+        for w in roc.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr);
+            prop_assert!(w[1].tpr >= w[0].tpr);
+            prop_assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    /// TPR@FPR is monotone in the FPR budget.
+    #[test]
+    fn tpr_at_fpr_is_monotone(pairs in arb_pairs()) {
+        let mut last = 0.0;
+        for budget in [0.0, 0.01, 0.05, 0.1, 0.5, 1.0] {
+            let t = tpr_at_fpr(&pairs, budget);
+            prop_assert!(t >= last, "budget {budget}: {t} < {last}");
+            last = t;
+        }
+        prop_assert_eq!(last, 1.0); // full budget always reaches TPR 1
+    }
+
+    /// The Youden threshold's J statistic matches TPR−FPR at that point
+    /// and is at least 0 (chance level).
+    #[test]
+    fn youden_is_consistent(pairs in arb_pairs()) {
+        let (thr, j) = youden_threshold(&pairs);
+        prop_assert!(j >= 0.0 - 1e-12);
+        prop_assert!(thr.is_finite());
+        // Recompute J directly at the threshold.
+        let pos = pairs.iter().filter(|p| p.positive).count() as f64;
+        let neg = pairs.len() as f64 - pos;
+        let tp = pairs.iter().filter(|p| p.positive && p.score >= thr).count() as f64;
+        let fp = pairs.iter().filter(|p| !p.positive && p.score >= thr).count() as f64;
+        let direct = tp / pos - fp / neg;
+        prop_assert!((direct - j).abs() < 1e-9, "J mismatch: {direct} vs {j}");
+    }
+
+    /// CDFs are monotone and end at 1.
+    #[test]
+    fn cdf_properties(values in proptest::collection::vec(-100.0f64..100.0, 1..100)) {
+        let cdf = cdf_points(&values);
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].0 > w[0].0);
+            prop_assert!(w[1].1 > w[0].1);
+        }
+    }
+}

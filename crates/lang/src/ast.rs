@@ -1,0 +1,421 @@
+//! Source-level abstract syntax tree for MiniC.
+//!
+//! MiniC is the reproduction's stand-in for the C sources the paper
+//! cross-compiles with buildroot. It is deliberately small but covers every
+//! statement and expression class in the paper's Table I, so the decompiled
+//! ASTs exercise the full node vocabulary.
+
+use std::fmt;
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for the short-circuiting logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::LogAnd => "&&",
+            BinOp::LogOr => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise not `~x`.
+    BitNot,
+}
+
+impl UnOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+/// Compound-assignment flavours (`x op= e`), plus plain assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+    /// `&=`
+    AndAssign,
+    /// `|=`
+    OrAssign,
+    /// `^=`
+    XorAssign,
+    /// `%=`
+    ModAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+}
+
+impl AssignOp {
+    /// The underlying binary operator for compound assignments.
+    pub fn binop(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+            AssignOp::AndAssign => Some(BinOp::And),
+            AssignOp::OrAssign => Some(BinOp::Or),
+            AssignOp::XorAssign => Some(BinOp::Xor),
+            AssignOp::ModAssign => Some(BinOp::Mod),
+            AssignOp::ShlAssign => Some(BinOp::Shl),
+            AssignOp::ShrAssign => Some(BinOp::Shr),
+        }
+    }
+
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+            AssignOp::AndAssign => "&=",
+            AssignOp::OrAssign => "|=",
+            AssignOp::XorAssign => "^=",
+            AssignOp::ModAssign => "%=",
+            AssignOp::ShlAssign => "<<=",
+            AssignOp::ShrAssign => ">>=",
+        }
+    }
+}
+
+/// Increment/decrement flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncDec {
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+/// An lvalue: something assignable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LValue {
+    /// A named local, parameter, or global variable.
+    Var(String),
+    /// An array element `name[index]`.
+    Index(String, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// String literal (only valid as a call argument).
+    Str(String),
+    /// Variable reference.
+    Var(String),
+    /// Array element read `name[index]`.
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment as an expression (value is the assigned value).
+    Assign(AssignOp, LValue, Box<Expr>),
+    /// Pre/post increment/decrement of an lvalue.
+    IncDec(IncDec, LValue),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Number of nodes in this expression tree (for statistics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Str(_) | Expr::Var(_) => 1,
+            Expr::Index(_, i) => 2 + i.size(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Unary(_, e) => 1 + e.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Assign(_, lv, e) => {
+                let lv_size = match lv {
+                    LValue::Var(_) => 1,
+                    LValue::Index(_, i) => 2 + i.size(),
+                };
+                1 + lv_size + e.size()
+            }
+            Expr::IncDec(_, lv) => match lv {
+                LValue::Var(_) => 2,
+                LValue::Index(_, i) => 3 + i.size(),
+            },
+        }
+    }
+}
+
+/// A `switch` case arm.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SwitchCase {
+    /// Case value; `None` for `default`.
+    pub value: Option<i64>,
+    /// The arm body. Arms do not fall through in MiniC.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// Local variable declaration with an initializer.
+    Local(String, Expr),
+    /// Local fixed-size array declaration.
+    LocalArray(String, usize),
+    /// Expression statement (calls, assignments, inc/dec).
+    Expr(Expr),
+    /// `if (cond) { then } else { else }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { body }`.
+    While(Expr, Vec<Stmt>),
+    /// `do { body } while (cond);`
+    DoWhile(Vec<Stmt>, Expr),
+    /// `for (init; cond; step) { body }`.
+    For(Option<Box<Stmt>>, Expr, Option<Box<Stmt>>, Vec<Stmt>),
+    /// `switch (scrutinee) { cases }`.
+    Switch(Expr, Vec<SwitchCase>),
+    /// `return expr;` or bare `return;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+impl Stmt {
+    /// Number of statements in this subtree, counting nested bodies.
+    pub fn count(&self) -> usize {
+        fn body(b: &[Stmt]) -> usize {
+            b.iter().map(Stmt::count).sum()
+        }
+        match self {
+            Stmt::If(_, t, e) => 1 + body(t) + body(e),
+            Stmt::While(_, b) | Stmt::DoWhile(b, _) => 1 + body(b),
+            Stmt::For(i, _, s, b) => {
+                1 + i.as_ref().map_or(0, |s| s.count())
+                    + s.as_ref().map_or(0, |s| s.count())
+                    + body(b)
+            }
+            Stmt::Switch(_, cases) => 1 + cases.iter().map(|c| body(&c.body)).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+/// A function parameter (all parameters are `int`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Function {
+    /// Function name (symbol).
+    pub name: String,
+    /// Parameters, in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Total number of statements in the function body.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::count).sum()
+    }
+}
+
+/// A global scalar variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Global {
+    /// Global name.
+    pub name: String,
+    /// Initial value.
+    pub value: i64,
+}
+
+/// A complete MiniC translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::LogAnd.is_logical());
+        assert!(!BinOp::And.is_logical());
+    }
+
+    #[test]
+    fn assignop_maps_to_binop() {
+        assert_eq!(AssignOp::AddAssign.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Assign.binop(), None);
+    }
+
+    #[test]
+    fn expr_size_counts_nodes() {
+        // x + y * 2 -> Binary(Add, Var, Binary(Mul, Var, Num)) = 5 nodes
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("x"),
+            Expr::bin(BinOp::Mul, Expr::var("y"), Expr::Num(2)),
+        );
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn stmt_count_recurses() {
+        let s = Stmt::If(
+            Expr::var("c"),
+            vec![Stmt::Return(Some(Expr::Num(1))), Stmt::Break],
+            vec![Stmt::Continue],
+        );
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let mut p = Program::new();
+        p.functions.push(Function {
+            name: "f".into(),
+            params: vec![],
+            body: vec![],
+        });
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+    }
+}

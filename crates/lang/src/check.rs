@@ -1,0 +1,306 @@
+//! Static semantic checks for MiniC programs.
+//!
+//! The parser accepts anything syntactically valid; this pass rejects the
+//! programs that would only fail at runtime: duplicate definitions, calls
+//! to *defined* functions with the wrong arity (externals are variadic by
+//! convention), duplicate `switch` cases, and duplicate parameters.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::{Expr, Function, LValue, Program, Stmt};
+
+/// A semantic diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// Two functions share a name.
+    DuplicateFunction {
+        /// The repeated name.
+        name: String,
+    },
+    /// Two globals share a name.
+    DuplicateGlobal {
+        /// The repeated name.
+        name: String,
+    },
+    /// A function declares the same parameter twice.
+    DuplicateParam {
+        /// Enclosing function.
+        function: String,
+        /// The repeated parameter.
+        param: String,
+    },
+    /// A call to a defined function passes the wrong number of arguments.
+    ArityMismatch {
+        /// Enclosing function.
+        function: String,
+        /// Callee name.
+        callee: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Argument count at the call site.
+        got: usize,
+    },
+    /// A `switch` repeats a case value.
+    DuplicateCase {
+        /// Enclosing function.
+        function: String,
+        /// The repeated case value.
+        value: i64,
+    },
+    /// A `switch` has more than one `default` arm.
+    DuplicateDefault {
+        /// Enclosing function.
+        function: String,
+    },
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::DuplicateFunction { name } => {
+                write!(f, "duplicate function definition `{name}`")
+            }
+            Diagnostic::DuplicateGlobal { name } => {
+                write!(f, "duplicate global definition `{name}`")
+            }
+            Diagnostic::DuplicateParam { function, param } => {
+                write!(f, "duplicate parameter `{param}` in `{function}`")
+            }
+            Diagnostic::ArityMismatch {
+                function,
+                callee,
+                expected,
+                got,
+            } => write!(
+                f,
+                "call to `{callee}` in `{function}` passes {got} arguments, expected {expected}"
+            ),
+            Diagnostic::DuplicateCase { function, value } => {
+                write!(f, "duplicate case {value} in `{function}`")
+            }
+            Diagnostic::DuplicateDefault { function } => {
+                write!(f, "multiple default arms in `{function}`")
+            }
+        }
+    }
+}
+
+/// Runs all checks, returning every diagnostic found (empty = clean).
+pub fn check_program(program: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let mut seen = HashSet::new();
+    for g in &program.globals {
+        if !seen.insert(&g.name) {
+            out.push(Diagnostic::DuplicateGlobal {
+                name: g.name.clone(),
+            });
+        }
+    }
+
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    let mut seen_fn = HashSet::new();
+    for f in &program.functions {
+        if !seen_fn.insert(&f.name) {
+            out.push(Diagnostic::DuplicateFunction {
+                name: f.name.clone(),
+            });
+        }
+        arities.insert(&f.name, f.params.len());
+        let mut seen_params = HashSet::new();
+        for p in &f.params {
+            if !seen_params.insert(&p.name) {
+                out.push(Diagnostic::DuplicateParam {
+                    function: f.name.clone(),
+                    param: p.name.clone(),
+                });
+            }
+        }
+    }
+
+    for f in &program.functions {
+        check_function(f, &arities, &mut out);
+    }
+    out
+}
+
+fn check_function(f: &Function, arities: &HashMap<&str, usize>, out: &mut Vec<Diagnostic>) {
+    fn expr(e: &Expr, f: &Function, arities: &HashMap<&str, usize>, out: &mut Vec<Diagnostic>) {
+        match e {
+            Expr::Call(name, args) => {
+                if let Some(&expected) = arities.get(name.as_str()) {
+                    if expected != args.len() {
+                        out.push(Diagnostic::ArityMismatch {
+                            function: f.name.clone(),
+                            callee: name.clone(),
+                            expected,
+                            got: args.len(),
+                        });
+                    }
+                }
+                for a in args {
+                    expr(a, f, arities, out);
+                }
+            }
+            Expr::Index(_, i) => expr(i, f, arities, out),
+            Expr::Unary(_, inner) => expr(inner, f, arities, out),
+            Expr::Binary(_, a, b) => {
+                expr(a, f, arities, out);
+                expr(b, f, arities, out);
+            }
+            Expr::Assign(_, lv, rhs) => {
+                if let LValue::Index(_, i) = lv {
+                    expr(i, f, arities, out);
+                }
+                expr(rhs, f, arities, out);
+            }
+            Expr::IncDec(_, LValue::Index(_, i)) => expr(i, f, arities, out),
+            _ => {}
+        }
+    }
+    fn stmts(
+        body: &[Stmt],
+        f: &Function,
+        arities: &HashMap<&str, usize>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for s in body {
+            match s {
+                Stmt::Local(_, e) | Stmt::Expr(e) | Stmt::Return(Some(e)) => {
+                    expr(e, f, arities, out)
+                }
+                Stmt::If(c, t, el) => {
+                    expr(c, f, arities, out);
+                    stmts(t, f, arities, out);
+                    stmts(el, f, arities, out);
+                }
+                Stmt::While(c, b) => {
+                    expr(c, f, arities, out);
+                    stmts(b, f, arities, out);
+                }
+                Stmt::DoWhile(b, c) => {
+                    stmts(b, f, arities, out);
+                    expr(c, f, arities, out);
+                }
+                Stmt::For(init, c, step, b) => {
+                    if let Some(i) = init {
+                        stmts(std::slice::from_ref(i), f, arities, out);
+                    }
+                    expr(c, f, arities, out);
+                    if let Some(st) = step {
+                        stmts(std::slice::from_ref(st), f, arities, out);
+                    }
+                    stmts(b, f, arities, out);
+                }
+                Stmt::Switch(scrut, cases) => {
+                    expr(scrut, f, arities, out);
+                    let mut seen = HashSet::new();
+                    let mut defaults = 0;
+                    for case in cases {
+                        match case.value {
+                            Some(v) => {
+                                if !seen.insert(v) {
+                                    out.push(Diagnostic::DuplicateCase {
+                                        function: f.name.clone(),
+                                        value: v,
+                                    });
+                                }
+                            }
+                            None => defaults += 1,
+                        }
+                        stmts(&case.body, f, arities, out);
+                    }
+                    if defaults > 1 {
+                        out.push(Diagnostic::DuplicateDefault {
+                            function: f.name.clone(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    stmts(&f.body, f, arities, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check_program(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let d = diags(
+            "int g = 1; int helper(int a, int b) { return a + b; } \
+             int f(int x) { return helper(x, g) + ext_anything(x, x, x); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn detects_arity_mismatch_on_defined_functions_only() {
+        let d = diags(
+            "int helper(int a, int b) { return a + b; } \
+             int f(int x) { return helper(x) + ext_whatever(x, x, x, x); }",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            &d[0],
+            Diagnostic::ArityMismatch { callee, expected: 2, got: 1, .. } if callee == "helper"
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_functions_and_globals() {
+        let d = diags("int g = 1; int g = 2; int f() { return 0; } int f() { return 1; }");
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Diagnostic::DuplicateGlobal { .. })));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Diagnostic::DuplicateFunction { .. })));
+    }
+
+    #[test]
+    fn detects_duplicate_params() {
+        let d = diags("int f(int a, int a) { return a; }");
+        assert!(matches!(&d[0], Diagnostic::DuplicateParam { param, .. } if param == "a"));
+    }
+
+    #[test]
+    fn detects_duplicate_switch_cases_and_defaults() {
+        let d = diags(
+            "int f(int x) { switch (x) { case 1: return 1; case 1: return 2; \
+             default: return 3; default: return 4; } }",
+        );
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Diagnostic::DuplicateCase { value: 1, .. })));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Diagnostic::DuplicateDefault { .. })));
+    }
+
+    #[test]
+    fn checks_nested_calls_in_all_positions() {
+        let d = diags(
+            "int one(int a) { return a; } \
+             int f(int x) { int buf[4]; buf[one(x, x)] = one(x, x); \
+             for (int i = one(x, x); i < 2; i++) { } return 0; }",
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn diagnostics_render_readably() {
+        let d = diags("int h(int a) { return a; } int f(int x) { return h(x, x); }");
+        let text = d[0].to_string();
+        assert!(text.contains("h"), "{text}");
+        assert!(text.contains("expected 1"), "{text}");
+    }
+}

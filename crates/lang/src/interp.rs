@@ -1,0 +1,621 @@
+//! Reference interpreter for MiniC.
+//!
+//! This defines the language's semantics. The compiler backends and the
+//! binary-level virtual machine in `asteria-compiler` are differentially
+//! tested against this interpreter: the same function evaluated on the same
+//! arguments must produce the same result on every architecture.
+//!
+//! Deliberately *defined* behaviours (so all layers can agree):
+//! - all arithmetic wraps modulo 2⁶⁴ (values are `i64`);
+//! - division by zero yields 0; remainder by zero yields the dividend
+//!   (consistent with `a - (a/b)*b`, which is how RISC backends expand `%`);
+//! - shift amounts are masked to 6 bits;
+//! - array indices wrap into `0..size` (Euclidean remainder);
+//! - calls to functions not defined in the program ("externals", e.g.
+//!   `log`, `memcpy`) return a deterministic FNV-1a hash of the callee name
+//!   and the argument values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Function, IncDec, LValue, Program, Stmt, UnOp};
+
+/// Errors produced during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The step budget was exhausted (probable infinite loop).
+    StepLimit,
+    /// Reference to an undeclared variable.
+    UnknownVar(String),
+    /// Call target is not a function and not an external.
+    BadCall(String),
+    /// Call recursion exceeded the depth limit.
+    RecursionLimit,
+    /// Wrong number of arguments in a direct call.
+    ArityMismatch {
+        /// Callee name.
+        callee: String,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::StepLimit => write!(f, "step budget exhausted"),
+            EvalError::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            EvalError::BadCall(c) => write!(f, "bad call target {c}"),
+            EvalError::RecursionLimit => write!(f, "recursion limit exceeded"),
+            EvalError::ArityMismatch {
+                callee,
+                expected,
+                got,
+            } => {
+                write!(f, "call to {callee} expects {expected} args, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Deterministic result of calling an undefined ("external") function.
+///
+/// Shared by the interpreter and the binary VM so differential tests agree.
+pub fn external_call_result(name: &str, args: &[i64]) -> i64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    for a in args {
+        for b in a.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    // Keep results in a small signed range so arithmetic stays comparable.
+    (h % 65536) as i64 - 32768
+}
+
+/// Applies a binary operator with MiniC's defined semantics.
+pub fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                // Consistent with `a - (a/b)*b` under div-by-zero = 0; RISC
+                // backends expand `%` exactly that way.
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::LogAnd => ((a != 0) && (b != 0)) as i64,
+        BinOp::LogOr => ((a != 0) || (b != 0)) as i64,
+    }
+}
+
+/// Applies a unary operator.
+pub fn eval_unop(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => a.wrapping_neg(),
+        UnOp::Not => (a == 0) as i64,
+        UnOp::BitNot => !a,
+    }
+}
+
+/// Wraps an array index into `0..size` (Euclidean remainder).
+pub fn wrap_index(index: i64, size: usize) -> usize {
+    debug_assert!(size > 0);
+    index.rem_euclid(size as i64) as usize
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(i64),
+}
+
+struct Frame {
+    scalars: HashMap<String, i64>,
+    arrays: HashMap<String, Vec<i64>>,
+}
+
+/// An interpreter instance over a program.
+///
+/// # Examples
+///
+/// ```
+/// let p = asteria_lang::parse("int dbl(int x) { return x * 2; }")?;
+/// let mut interp = asteria_lang::Interp::new(&p);
+/// assert_eq!(interp.call("dbl", &[21])?, 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Interp<'p> {
+    program: &'p Program,
+    globals: HashMap<String, i64>,
+    steps_left: u64,
+    depth: usize,
+}
+
+/// Default step budget per top-level call.
+pub const DEFAULT_STEP_BUDGET: u64 = 2_000_000;
+
+/// Maximum call depth.
+pub const MAX_DEPTH: usize = 64;
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with freshly initialized globals.
+    pub fn new(program: &'p Program) -> Self {
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.value))
+            .collect();
+        Interp {
+            program,
+            globals,
+            steps_left: DEFAULT_STEP_BUDGET,
+            depth: 0,
+        }
+    }
+
+    /// Calls a defined function by name with the given arguments.
+    ///
+    /// Globals persist across calls on the same interpreter, mirroring the
+    /// data segment of a loaded binary.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`].
+    pub fn call(&mut self, name: &str, args: &[i64]) -> Result<i64, EvalError> {
+        self.steps_left = DEFAULT_STEP_BUDGET;
+        self.call_inner(name, args)
+    }
+
+    fn call_inner(&mut self, name: &str, args: &[i64]) -> Result<i64, EvalError> {
+        let func = match self.program.function(name) {
+            Some(f) => f,
+            None => return Ok(external_call_result(name, args)),
+        };
+        if args.len() != func.params.len() {
+            return Err(EvalError::ArityMismatch {
+                callee: name.to_string(),
+                expected: func.params.len(),
+                got: args.len(),
+            });
+        }
+        if self.depth >= MAX_DEPTH {
+            return Err(EvalError::RecursionLimit);
+        }
+        self.depth += 1;
+        let mut frame = Frame {
+            scalars: HashMap::new(),
+            arrays: HashMap::new(),
+        };
+        for (p, v) in func.params.iter().zip(args) {
+            frame.scalars.insert(p.name.clone(), *v);
+        }
+        let result = self.exec_body(func, &mut frame);
+        self.depth -= 1;
+        match result? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(0), // fall off the end: return 0
+        }
+    }
+
+    fn exec_body(&mut self, func: &Function, frame: &mut Frame) -> Result<Flow, EvalError> {
+        for stmt in &func.body {
+            match self.exec_stmt(stmt, frame)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn tick(&mut self) -> Result<(), EvalError> {
+        if self.steps_left == 0 {
+            return Err(EvalError::StepLimit);
+        }
+        self.steps_left -= 1;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, body: &[Stmt], frame: &mut Frame) -> Result<Flow, EvalError> {
+        for stmt in body {
+            match self.exec_stmt(stmt, frame)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<Flow, EvalError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Local(name, init) => {
+                let v = self.eval(init, frame)?;
+                frame.scalars.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::LocalArray(name, size) => {
+                frame.arrays.insert(name.clone(), vec![0; *size]);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, frame)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                if self.eval(cond, frame)? != 0 {
+                    self.exec_block(then_body, frame)
+                } else {
+                    self.exec_block(else_body, frame)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, frame)? != 0 {
+                    self.tick()?;
+                    match self.exec_block(body, frame)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile(body, cond) => {
+                loop {
+                    self.tick()?;
+                    match self.exec_block(body, frame)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if self.eval(cond, frame)? == 0 {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(init) = init {
+                    self.exec_stmt(init, frame)?;
+                }
+                while self.eval(cond, frame)? != 0 {
+                    self.tick()?;
+                    match self.exec_block(body, frame)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(step) = step {
+                        self.exec_stmt(step, frame)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Switch(scrutinee, cases) => {
+                let v = self.eval(scrutinee, frame)?;
+                let arm = cases
+                    .iter()
+                    .find(|c| c.value == Some(v))
+                    .or_else(|| cases.iter().find(|c| c.value.is_none()));
+                match arm {
+                    Some(case) => match self.exec_block(&case.body, frame)? {
+                        Flow::Break => Ok(Flow::Normal),
+                        flow => Ok(flow),
+                    },
+                    None => Ok(Flow::Normal),
+                }
+            }
+            Stmt::Return(Some(e)) => {
+                let v = self.eval(e, frame)?;
+                Ok(Flow::Return(v))
+            }
+            Stmt::Return(None) => Ok(Flow::Return(0)),
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+        }
+    }
+
+    fn read_var(&self, name: &str, frame: &Frame) -> Result<i64, EvalError> {
+        if let Some(v) = frame.scalars.get(name) {
+            return Ok(*v);
+        }
+        if let Some(v) = self.globals.get(name) {
+            return Ok(*v);
+        }
+        Err(EvalError::UnknownVar(name.to_string()))
+    }
+
+    fn write_var(&mut self, name: &str, value: i64, frame: &mut Frame) -> Result<(), EvalError> {
+        if let Some(v) = frame.scalars.get_mut(name) {
+            *v = value;
+            return Ok(());
+        }
+        if let Some(v) = self.globals.get_mut(name) {
+            *v = value;
+            return Ok(());
+        }
+        Err(EvalError::UnknownVar(name.to_string()))
+    }
+
+    fn read_lvalue(&mut self, lv: &LValue, frame: &mut Frame) -> Result<i64, EvalError> {
+        match lv {
+            LValue::Var(name) => self.read_var(name, frame),
+            LValue::Index(name, idx) => {
+                let i = self.eval(idx, frame)?;
+                let arr = frame
+                    .arrays
+                    .get(name)
+                    .ok_or_else(|| EvalError::UnknownVar(name.clone()))?;
+                Ok(arr[wrap_index(i, arr.len())])
+            }
+        }
+    }
+
+    fn write_lvalue(
+        &mut self,
+        lv: &LValue,
+        value: i64,
+        frame: &mut Frame,
+    ) -> Result<(), EvalError> {
+        match lv {
+            LValue::Var(name) => self.write_var(name, value, frame),
+            LValue::Index(name, idx) => {
+                let i = self.eval(idx, frame)?;
+                let arr = frame
+                    .arrays
+                    .get_mut(name)
+                    .ok_or_else(|| EvalError::UnknownVar(name.clone()))?;
+                let pos = wrap_index(i, arr.len());
+                arr[pos] = value;
+                Ok(())
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut Frame) -> Result<i64, EvalError> {
+        self.tick()?;
+        match e {
+            Expr::Num(n) => Ok(*n),
+            // String literals only appear as external-call arguments; their
+            // "value" is a stable hash standing in for the string address.
+            Expr::Str(s) => Ok(external_call_result(s, &[])),
+            Expr::Var(name) => self.read_var(name, frame),
+            Expr::Index(name, idx) => {
+                self.read_lvalue(&LValue::Index(name.clone(), idx.clone()), frame)
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame)?);
+                }
+                self.call_inner(name, &vals)
+            }
+            Expr::Unary(op, inner) => Ok(eval_unop(*op, self.eval(inner, frame)?)),
+            Expr::Binary(op, a, b) => {
+                // Short-circuit evaluation for && and ||.
+                match op {
+                    BinOp::LogAnd => {
+                        let av = self.eval(a, frame)?;
+                        if av == 0 {
+                            return Ok(0);
+                        }
+                        Ok((self.eval(b, frame)? != 0) as i64)
+                    }
+                    BinOp::LogOr => {
+                        let av = self.eval(a, frame)?;
+                        if av != 0 {
+                            return Ok(1);
+                        }
+                        Ok((self.eval(b, frame)? != 0) as i64)
+                    }
+                    _ => {
+                        let av = self.eval(a, frame)?;
+                        let bv = self.eval(b, frame)?;
+                        Ok(eval_binop(*op, av, bv))
+                    }
+                }
+            }
+            Expr::Assign(op, lv, rhs) => {
+                let rhs_v = self.eval(rhs, frame)?;
+                let new = match op.binop() {
+                    None => rhs_v,
+                    Some(bop) => {
+                        let old = self.read_lvalue(lv, frame)?;
+                        eval_binop(bop, old, rhs_v)
+                    }
+                };
+                self.write_lvalue(lv, new, frame)?;
+                Ok(new)
+            }
+            Expr::IncDec(kind, lv) => {
+                let old = self.read_lvalue(lv, frame)?;
+                let (new, result) = match kind {
+                    IncDec::PreInc => (old.wrapping_add(1), old.wrapping_add(1)),
+                    IncDec::PreDec => (old.wrapping_sub(1), old.wrapping_sub(1)),
+                    IncDec::PostInc => (old.wrapping_add(1), old),
+                    IncDec::PostDec => (old.wrapping_sub(1), old),
+                };
+                self.write_lvalue(lv, new, frame)?;
+                Ok(result)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str, func: &str, args: &[i64]) -> i64 {
+        let p = parse(src).unwrap();
+        Interp::new(&p).call(func, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        assert_eq!(
+            run("int f(int a, int b) { return a * b + 1; }", "f", &[6, 7]),
+            43
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(run("int f(int a) { return a / 0; }", "f", &[5]), 0);
+        assert_eq!(run("int f(int a) { return a % 0; }", "f", &[5]), 5);
+    }
+
+    #[test]
+    fn branches() {
+        let src = "int f(int x) { if (x > 0) { return 1; } else { return 0 - 1; } }";
+        assert_eq!(run(src, "f", &[3]), 1);
+        assert_eq!(run(src, "f", &[-3]), -1);
+    }
+
+    #[test]
+    fn loops_accumulate() {
+        let src = "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }";
+        assert_eq!(run(src, "f", &[10]), 55);
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let src = "int f(int n) { int s = 0; int i = 0; while (1) { i++; \
+                   if (i > n) { break; } if (i % 2 == 0) { continue; } s += i; } return s; }";
+        assert_eq!(run(src, "f", &[10]), 25); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn do_while_runs_at_least_once() {
+        let src = "int f() { int s = 0; do { s++; } while (0); return s; }";
+        assert_eq!(run(src, "f", &[]), 1);
+    }
+
+    #[test]
+    fn switch_selects_arm_and_default() {
+        let src = "int f(int x) { switch (x) { case 1: return 10; case 2: return 20; \
+                   default: return 99; } }";
+        assert_eq!(run(src, "f", &[1]), 10);
+        assert_eq!(run(src, "f", &[2]), 20);
+        assert_eq!(run(src, "f", &[7]), 99);
+    }
+
+    #[test]
+    fn arrays_wrap_indices() {
+        let src = "int f(int x) { int a[4]; a[x] = 7; return a[x + 8]; }";
+        assert_eq!(run(src, "f", &[2]), 7); // 2 and 10 wrap to the same slot
+        assert_eq!(run(src, "f", &[-1]), 7); // -1 wraps to 3
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let p = parse("int g = 0; int bump() { g += 1; return g; }").unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("bump", &[]).unwrap(), 1);
+        assert_eq!(i.call("bump", &[]).unwrap(), 2);
+    }
+
+    #[test]
+    fn direct_recursion() {
+        let src = "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }";
+        assert_eq!(run(src, "fib", &[10]), 55);
+    }
+
+    #[test]
+    fn external_calls_are_deterministic() {
+        let a = external_call_result("log", &[1, 2]);
+        let b = external_call_result("log", &[1, 2]);
+        let c = external_call_result("log", &[2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let src = "int f(int x) { return helper_ext(x); }";
+        assert_eq!(
+            run(src, "f", &[5]),
+            external_call_result("helper_ext", &[5])
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_side_effects() {
+        let src = "int g = 0; int side() { g = 1; return 1; } \
+                   int f(int x) { int r = x && side(); return g * 10 + r; }";
+        assert_eq!(run(src, "f", &[0]), 0); // side() not evaluated
+        assert_eq!(run(src, "f", &[1]), 11);
+    }
+
+    #[test]
+    fn incdec_all_variants() {
+        let src = "int f() { int x = 5; int a = x++; int b = ++x; int c = x--; int d = --x; \
+                   return a * 1000 + b * 100 + c * 10 + d; }";
+        // a=5 (x=6), b=7 (x=7), c=7 (x=6), d=5 (x=5)
+        assert_eq!(run(src, "f", &[]), 5775);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let p = parse("int f() { while (1) { } return 0; }").unwrap();
+        let err = Interp::new(&p).call("f", &[]).unwrap_err();
+        assert_eq!(err, EvalError::StepLimit);
+    }
+
+    #[test]
+    fn deep_recursion_hits_depth_limit() {
+        let p = parse("int f(int n) { return f(n + 1); }").unwrap();
+        let err = Interp::new(&p).call("f", &[0]).unwrap_err();
+        assert_eq!(err, EvalError::RecursionLimit);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let p = parse("int f(int a) { return a; }").unwrap();
+        let mut i = Interp::new(&p);
+        // Build call through another function to exercise the path.
+        assert!(matches!(
+            i.call("f", &[1, 2]),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compound_assignment_on_array() {
+        let src = "int f(int x) { int a[2]; a[0] = 3; a[0] *= x; return a[0]; }";
+        assert_eq!(run(src, "f", &[4]), 12);
+    }
+
+    #[test]
+    fn shift_masking() {
+        assert_eq!(run("int f(int a) { return a << 65; }", "f", &[1]), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the MiniC frontend: arbitrary ASTs must
+//! survive a pretty-print → parse round trip, and the interpreter must be
+//! deterministic.
+
+use proptest::prelude::*;
+
+use asteria_lang::{
+    parse, print_program, AssignOp, BinOp, Expr, Function, IncDec, Interp, LValue, Param, Program,
+    Stmt, SwitchCase, UnOp,
+};
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::LogAnd),
+        Just(BinOp::LogOr),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
+}
+
+/// Expressions over the fixed variables `a` and `b` (always in scope).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Num),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            (arb_unop(), inner.clone()).prop_map(|(op, e)| Expr::Unary(op, Box::new(e))),
+            (inner.clone(), proptest::collection::vec(inner, 0..3)).prop_map(
+                |(first, mut rest)| {
+                    rest.insert(0, first);
+                    Expr::Call("ext_fn".into(), rest)
+                }
+            ),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        arb_expr().prop_map(|e| Stmt::Expr(Expr::Assign(
+            AssignOp::Assign,
+            LValue::Var("a".into()),
+            Box::new(e)
+        ))),
+        arb_expr().prop_map(|e| Stmt::Expr(Expr::Assign(
+            AssignOp::AddAssign,
+            LValue::Var("b".into()),
+            Box::new(e)
+        ))),
+        Just(Stmt::Expr(Expr::IncDec(
+            IncDec::PostInc,
+            LValue::Var("a".into())
+        ))),
+        arb_expr().prop_map(|e| Stmt::Return(Some(e))),
+    ];
+    simple.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (arb_expr(), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(c, body)| Stmt::If(c, body, Vec::new())),
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 1..2),
+                proptest::collection::vec(inner.clone(), 1..2)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            (arb_expr(), proptest::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(scrut, body)| Stmt::Switch(
+                    scrut,
+                    vec![
+                        SwitchCase {
+                            value: Some(0),
+                            body
+                        },
+                        SwitchCase {
+                            value: None,
+                            body: vec![Stmt::Break]
+                        },
+                    ]
+                )
+            ),
+        ]
+    })
+}
+
+fn arb_function() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt(), 1..6).prop_map(|mut body| {
+        body.push(Stmt::Return(Some(Expr::var("a"))));
+        Program {
+            globals: Vec::new(),
+            functions: vec![Function {
+                name: "f".into(),
+                params: vec![Param { name: "a".into() }, Param { name: "b".into() }],
+                body,
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pretty-printing then reparsing reproduces the exact AST.
+    #[test]
+    fn pretty_parse_roundtrip(program in arb_function()) {
+        let printed = print_program(&program);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(reparsed, program);
+    }
+
+    /// Evaluation is deterministic and total (modulo resource limits).
+    #[test]
+    fn interpreter_is_deterministic(program in arb_function(), a in -50i64..50, b in -50i64..50) {
+        let r1 = Interp::new(&program).call("f", &[a, b]);
+        let r2 = Interp::new(&program).call("f", &[a, b]);
+        prop_assert_eq!(r1, r2);
+    }
+}

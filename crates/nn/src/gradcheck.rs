@@ -1,0 +1,61 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and of `asteria-core` to validate
+//! every backward implementation against a central-difference estimate.
+
+use crate::graph::{Graph, NodeId};
+use crate::params::ParamStore;
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `build` must construct a fresh forward pass on the given graph and
+/// return the scalar loss node. It is called repeatedly with perturbed
+/// parameter values.
+///
+/// # Panics
+///
+/// Panics (failing the test) if any parameter gradient deviates from the
+/// numeric estimate by more than `tol` in relative terms (with an absolute
+/// floor of `tol * 1e-1` for near-zero gradients).
+pub fn check_gradients<F>(store: &mut ParamStore, h: f32, tol: f32, build: F)
+where
+    F: Fn(&ParamStore, &mut Graph) -> NodeId,
+{
+    // Analytic gradients.
+    store.zero_grads();
+    let mut g = Graph::new();
+    let loss = build(store, &mut g);
+    g.backward(loss, store);
+
+    let ids: Vec<_> = store.ids().collect();
+    for id in ids {
+        let (rows, cols) = store.value(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(id)[(r, c)];
+
+                store.value_mut(id)[(r, c)] = orig + h;
+                let mut gp = Graph::new();
+                let lp = build(store, &mut gp);
+                let fp = gp.value(lp).item();
+
+                store.value_mut(id)[(r, c)] = orig - h;
+                let mut gm = Graph::new();
+                let lm = build(store, &mut gm);
+                let fm = gm.value(lm).item();
+
+                store.value_mut(id)[(r, c)] = orig;
+
+                let numeric = (fp - fm) / (2.0 * h);
+                let analytic = store.grad(id)[(r, c)];
+                let denom = numeric.abs().max(analytic.abs()).max(0.1);
+                let rel = (numeric - analytic).abs() / denom;
+                assert!(
+                    rel <= tol,
+                    "gradient mismatch for {}[{r},{c}]: analytic={analytic} numeric={numeric} rel={rel}",
+                    store.name(id)
+                );
+            }
+        }
+    }
+}

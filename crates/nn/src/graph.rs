@@ -1,0 +1,664 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation of a forward pass as a node on a
+//! tape. Calling [`Graph::backward`] replays the tape in reverse, applying
+//! each operation's vector–Jacobian product and accumulating parameter
+//! gradients into a [`ParamStore`].
+//!
+//! The tape is rebuilt for every example, which is exactly what a dynamic
+//! network such as a Tree-LSTM needs: the structure of the computation
+//! follows the structure of the input tree.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Identifier of a value node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// Numerical floor used when clamping probabilities inside losses.
+const EPS: f32 = 1e-7;
+
+enum Op {
+    /// Constant input; no gradient flows out of the tape here.
+    Input,
+    /// Full parameter tensor.
+    Param(ParamId),
+    /// Single row of a parameter matrix, viewed as a column vector
+    /// (embedding lookup).
+    EmbedRow(ParamId, usize),
+    /// Matrix–vector product `a * b` (`a` matrix node, `b` column vector).
+    MatVec(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Hadamard(NodeId, NodeId),
+    ScalarMul(NodeId, f32),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    Abs(NodeId),
+    Concat(NodeId, NodeId),
+    Softmax(NodeId),
+    Sum(Vec<NodeId>),
+    Dot(NodeId, NodeId),
+    Cosine(NodeId, NodeId),
+    BceLoss(NodeId, Tensor),
+    MseLoss(NodeId, Tensor),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single forward pass recorded as a differentiable tape.
+///
+/// # Examples
+///
+/// ```
+/// use asteria_nn::{Graph, ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Tensor::from_rows(&[&[1.0, 2.0]]));
+/// let mut g = Graph::new();
+/// let wn = g.param(&store, w);
+/// let x = g.input(Tensor::column(&[3.0, 4.0]));
+/// let y = g.matvec(wn, x);
+/// assert_eq!(g.value(y).item(), 11.0);
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value produced by a node during the forward pass.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        debug_assert!(value.is_finite(), "non-finite value on tape");
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Records a constant input tensor.
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Input)
+    }
+
+    /// Records a full parameter tensor read.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Records an embedding lookup: row `row` of parameter `id`, returned
+    /// as a column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range for the parameter matrix.
+    pub fn embed_row(&mut self, store: &ParamStore, id: ParamId, row: usize) -> NodeId {
+        let v = store.value(id).row_vector(row);
+        self.push(v, Op::EmbedRow(id, row))
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&mut self, m: NodeId, x: NodeId) -> NodeId {
+        let v = self.nodes[m.0].value.matvec(&self.nodes[x.0].value);
+        self.push(v, Op::MatVec(m, x))
+    }
+
+    /// Element-wise addition.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise sum of three nodes.
+    pub fn add3(&mut self, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+        let ab = self.add(a, b);
+        self.add(ab, c)
+    }
+
+    /// Element-wise subtraction `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Hadamard (element-wise) product.
+    pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scalar_mul(&mut self, a: NodeId, c: f32) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| c * x);
+        self.push(v, Op::ScalarMul(a, c))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Element-wise rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Element-wise absolute value (subgradient 0 at the origin).
+    pub fn abs(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a.0].value.map(f32::abs);
+        self.push(v, Op::Abs(a))
+    }
+
+    /// Concatenation of two column vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not a column vector.
+    pub fn concat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.cols(), 1, "concat requires column vectors");
+        assert_eq!(bv.cols(), 1, "concat requires column vectors");
+        let mut data = Vec::with_capacity(av.len() + bv.len());
+        data.extend_from_slice(av.as_slice());
+        data.extend_from_slice(bv.as_slice());
+        let v = Tensor::column(&data);
+        self.push(v, Op::Concat(a, b))
+    }
+
+    /// Numerically stable softmax over a column vector.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a.0].value;
+        assert_eq!(x.cols(), 1, "softmax requires a column vector");
+        let max = x
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = x.as_slice().iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let v = Tensor::column(&exps.iter().map(|e| e / sum).collect::<Vec<_>>());
+        self.push(v, Op::Softmax(a))
+    }
+
+    /// Element-wise sum of an arbitrary number of equal-shape nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn sum(&mut self, items: &[NodeId]) -> NodeId {
+        assert!(!items.is_empty(), "sum of zero nodes");
+        let mut v = self.nodes[items[0].0].value.clone();
+        for id in &items[1..] {
+            v.add_assign(&self.nodes[id.0].value);
+        }
+        self.push(v, Op::Sum(items.to_vec()))
+    }
+
+    /// Dot product of two equal-shape nodes, producing a `1x1` node.
+    pub fn dot(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.nodes[a.0].value.dot(&self.nodes[b.0].value));
+        self.push(v, Op::Dot(a, b))
+    }
+
+    /// Cosine similarity of two vectors, producing a `1x1` node.
+    ///
+    /// Both inputs must be nonzero; a tiny epsilon guards the norms.
+    pub fn cosine(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let denom = (av.norm() * bv.norm()).max(EPS);
+        let v = Tensor::scalar(av.dot(bv) / denom);
+        self.push(v, Op::Cosine(a, b))
+    }
+
+    /// Mean binary cross entropy between predicted probabilities and a
+    /// target tensor of the same shape, producing a `1x1` loss node.
+    ///
+    /// Predictions are clamped away from 0 and 1 for numerical stability.
+    pub fn bce_loss(&mut self, pred: NodeId, target: Tensor) -> NodeId {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.shape(), target.shape(), "bce target shape mismatch");
+        let n = p.len() as f32;
+        let mut loss = 0.0;
+        for (pi, ti) in p.as_slice().iter().zip(target.as_slice()) {
+            let pc = pi.clamp(EPS, 1.0 - EPS);
+            loss -= ti * pc.ln() + (1.0 - ti) * (1.0 - pc).ln();
+        }
+        let v = Tensor::scalar(loss / n);
+        self.push(v, Op::BceLoss(pred, target))
+    }
+
+    /// Mean squared error between a prediction and a target tensor of the
+    /// same shape, producing a `1x1` loss node.
+    pub fn mse_loss(&mut self, pred: NodeId, target: Tensor) -> NodeId {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.shape(), target.shape(), "mse target shape mismatch");
+        let n = p.len() as f32;
+        let loss: f32 = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(pi, ti)| (pi - ti) * (pi - ti))
+            .sum();
+        let v = Tensor::scalar(loss / n);
+        self.push(v, Op::MseLoss(pred, target))
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`,
+    /// accumulating parameter gradients into `store`.
+    ///
+    /// Gradients are *added* to whatever is already in the store, so a
+    /// caller can accumulate over a mini-batch before an optimizer step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1x1` node.
+    pub fn backward(&self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=loss.0).rev() {
+            let g = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &self.nodes[idx];
+            match &node.op {
+                Op::Input => {}
+                Op::Param(pid) => store.grad_mut(*pid).add_assign(&g),
+                Op::EmbedRow(pid, row) => store.grad_mut(*pid).add_row(*row, &g),
+                Op::MatVec(m, x) => {
+                    let xv = &self.nodes[x.0].value;
+                    let mv = &self.nodes[m.0].value;
+                    accumulate(&mut grads, m.0, &Tensor::outer(&g, xv));
+                    accumulate(&mut grads, x.0, &mv.matvec_t(&g));
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    accumulate(&mut grads, b.0, &g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, &g);
+                    accumulate_scaled(&mut grads, b.0, &g, -1.0);
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = g.zip_map(&self.nodes[b.0].value, |gi, bi| gi * bi);
+                    let gb = g.zip_map(&self.nodes[a.0].value, |gi, ai| gi * ai);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::ScalarMul(a, c) => accumulate_scaled(&mut grads, a.0, &g, *c),
+                Op::Sigmoid(a) => {
+                    let ga = g.zip_map(&node.value, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Tanh(a) => {
+                    let ga = g.zip_map(&node.value, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Relu(a) => {
+                    let ga = g.zip_map(
+                        &self.nodes[a.0].value,
+                        |gi, xi| {
+                            if xi > 0.0 {
+                                gi
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Abs(a) => {
+                    let ga = g.zip_map(&self.nodes[a.0].value, |gi, xi| gi * sign(xi));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Concat(a, b) => {
+                    let alen = self.nodes[a.0].value.len();
+                    let ga = Tensor::column(&g.as_slice()[..alen]);
+                    let gb = Tensor::column(&g.as_slice()[alen..]);
+                    accumulate(&mut grads, a.0, &ga);
+                    accumulate(&mut grads, b.0, &gb);
+                }
+                Op::Softmax(a) => {
+                    // dL/dx = y ⊙ (g − (g·y) 1)
+                    let y = &node.value;
+                    let gy: f32 = g.dot(y);
+                    let ga = y.zip_map(&g, |yi, gi| yi * (gi - gy));
+                    accumulate(&mut grads, a.0, &ga);
+                }
+                Op::Sum(items) => {
+                    for id in items {
+                        accumulate(&mut grads, id.0, &g);
+                    }
+                }
+                Op::Dot(a, b) => {
+                    let gi = g.item();
+                    accumulate_scaled(&mut grads, a.0, &self.nodes[b.0].value, gi);
+                    accumulate_scaled(&mut grads, b.0, &self.nodes[a.0].value, gi);
+                }
+                Op::Cosine(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let na = av.norm().max(EPS);
+                    let nb = bv.norm().max(EPS);
+                    let cos = node.value.item();
+                    let gi = g.item();
+                    // d cos / da = b/(|a||b|) − cos · a/|a|²
+                    let mut ga = bv.map(|x| x / (na * nb));
+                    ga.add_scaled(av, -cos / (na * na));
+                    let mut gb = av.map(|x| x / (na * nb));
+                    gb.add_scaled(bv, -cos / (nb * nb));
+                    accumulate_scaled(&mut grads, a.0, &ga, gi);
+                    accumulate_scaled(&mut grads, b.0, &gb, gi);
+                }
+                Op::BceLoss(pred, target) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = p.len() as f32;
+                    let gi = g.item();
+                    let gp = p.zip_map(target, |pi, ti| {
+                        let pc = pi.clamp(EPS, 1.0 - EPS);
+                        gi * (pc - ti) / (pc * (1.0 - pc) * n)
+                    });
+                    accumulate(&mut grads, pred.0, &gp);
+                }
+                Op::MseLoss(pred, target) => {
+                    let p = &self.nodes[pred.0].value;
+                    let n = p.len() as f32;
+                    let gi = g.item();
+                    let gp = p.zip_map(target, |pi, ti| gi * 2.0 * (pi - ti) / n);
+                    accumulate(&mut grads, pred.0, &gp);
+                }
+            }
+        }
+    }
+}
+
+fn sign(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn accumulate_scaled(grads: &mut [Option<Tensor>], idx: usize, g: &Tensor, scale: f32) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_scaled(g, scale),
+        slot @ None => {
+            let mut t = Tensor::zeros(g.rows(), g.cols());
+            t.add_scaled(g, scale);
+            *slot = Some(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_values() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]));
+        let mut g = Graph::new();
+        let wn = g.param(&store, w);
+        let x = g.input(Tensor::column(&[3.0, 4.0]));
+        let y = g.matvec(wn, x);
+        assert_eq!(g.value(y).as_slice(), &[3.0, 8.0]);
+        let s = g.sigmoid(y);
+        assert!((g.value(s).as_slice()[0] - 0.95257413).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::column(&[1.0, 2.0, 3.0]));
+        let s = g.softmax(x);
+        let sum: f32 = g.value(s).as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // Largest logit gets largest probability.
+        let v = g.value(s).as_slice();
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::column(&[1000.0, 1001.0]));
+        let s = g.softmax(x);
+        assert!(g.value(s).is_finite());
+    }
+
+    #[test]
+    fn backward_through_matvec_and_sigmoid() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[0.5, -0.5]]));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let wn = g.param(store, w);
+            let x = g.input(Tensor::column(&[1.0, 2.0]));
+            let y = g.matvec(wn, x);
+            let s = g.sigmoid(y);
+            g.bce_loss(s, Tensor::scalar(1.0))
+        });
+    }
+
+    #[test]
+    fn backward_through_softmax_bce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::xavier(2, 4, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let wn = g.param(store, w);
+            let x = g.input(Tensor::column(&[0.3, -0.4, 0.5, 0.9]));
+            let y = g.matvec(wn, x);
+            let s = g.softmax(y);
+            g.bce_loss(s, Tensor::column(&[0.0, 1.0]))
+        });
+    }
+
+    #[test]
+    fn backward_through_hadamard_concat_abs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::uniform(3, 1, 0.9, &mut rng));
+        let b = store.add("b", Tensor::uniform(3, 1, 0.9, &mut rng));
+        let w = store.add("w", Tensor::xavier(1, 6, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let an = g.param(store, a);
+            let bn = g.param(store, b);
+            let d = g.sub(an, bn);
+            let ad = g.abs(d);
+            let h = g.hadamard(an, bn);
+            let c = g.concat(ad, h);
+            let wn = g.param(store, w);
+            let y = g.matvec(wn, c);
+            let s = g.sigmoid(y);
+            g.mse_loss(s, Tensor::scalar(0.25))
+        });
+    }
+
+    #[test]
+    fn backward_through_cosine() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::uniform(4, 1, 1.0, &mut rng));
+        let b = store.add("b", Tensor::uniform(4, 1, 1.0, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let an = g.param(store, a);
+            let bn = g.param(store, b);
+            let c = g.cosine(an, bn);
+            g.mse_loss(c, Tensor::scalar(1.0))
+        });
+    }
+
+    #[test]
+    fn backward_through_embedding() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let e = store.add("emb", Tensor::uniform(5, 3, 0.5, &mut rng));
+        let w = store.add("w", Tensor::xavier(1, 3, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let r2 = g.embed_row(store, e, 2);
+            let r4 = g.embed_row(store, e, 4);
+            let s = g.add(r2, r4);
+            let wn = g.param(store, w);
+            let y = g.matvec(wn, s);
+            let t = g.tanh(y);
+            g.mse_loss(t, Tensor::scalar(0.5))
+        });
+    }
+
+    #[test]
+    fn backward_through_sum_and_relu() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::uniform(3, 1, 1.0, &mut rng));
+        let b = store.add("b", Tensor::uniform(3, 1, 1.0, &mut rng));
+        let c = store.add("c", Tensor::uniform(3, 1, 1.0, &mut rng));
+        let w = store.add("w", Tensor::xavier(1, 3, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let an = g.param(store, a);
+            let bn = g.param(store, b);
+            let cn = g.param(store, c);
+            let s = g.sum(&[an, bn, cn]);
+            let r = g.relu(s);
+            let wn = g.param(store, w);
+            let y = g.matvec(wn, r);
+            g.mse_loss(y, Tensor::scalar(0.1))
+        });
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.0]]));
+        for _ in 0..2 {
+            let mut g = Graph::new();
+            let wn = g.param(&store, w);
+            let x = g.input(Tensor::scalar(2.0));
+            let y = g.hadamard(wn, x);
+            let loss = g.mse_loss(y, Tensor::scalar(0.0));
+            g.backward(loss, &mut store);
+        }
+        // d/dw (2w)^2 = 8w = 8, accumulated twice = 16.
+        assert!((store.grad(ParamId(0)).item() - 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shared_parameter_gets_summed_gradient() {
+        // Same parameter used twice in one graph (Siamese sharing).
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[3.0]]));
+        let mut g = Graph::new();
+        let w1 = g.param(&store, w);
+        let w2 = g.param(&store, w);
+        let p = g.hadamard(w1, w2); // w²
+        let loss = g.mse_loss(p, Tensor::scalar(0.0));
+        g.backward(loss, &mut store);
+        // d/dw w⁴ /1... actually loss = (w²)² = w⁴? No: mse(w², 0) = w⁴? No!
+        // mse = (w² − 0)² = w⁴; d/dw = 4w³ = 108.
+        assert!((store.grad(ParamId(0)).item() - 108.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_vector_loss() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::column(&[1.0, 2.0]));
+        g.backward(x, &mut store);
+    }
+}
+
+#[cfg(test)]
+mod more_grad_tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backward_through_scalar_mul_and_add3() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::uniform(3, 1, 1.0, &mut rng));
+        let b = store.add("b", Tensor::uniform(3, 1, 1.0, &mut rng));
+        let c = store.add("c", Tensor::uniform(3, 1, 1.0, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let an = g.param(store, a);
+            let bn = g.param(store, b);
+            let cn = g.param(store, c);
+            let scaled = g.scalar_mul(an, -1.5);
+            let s = g.add3(scaled, bn, cn);
+            let t = g.tanh(s);
+            g.mse_loss(t, Tensor::full(3, 1, 0.2))
+        });
+    }
+
+    #[test]
+    fn backward_through_dot() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::uniform(4, 1, 1.0, &mut rng));
+        let b = store.add("b", Tensor::uniform(4, 1, 1.0, &mut rng));
+        check_gradients(&mut store, 1e-2, 2e-2, |store, g| {
+            let an = g.param(store, a);
+            let bn = g.param(store, b);
+            let d = g.dot(an, bn);
+            g.mse_loss(d, Tensor::scalar(0.4))
+        });
+    }
+}

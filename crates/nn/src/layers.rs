@@ -1,0 +1,200 @@
+//! Reusable layers: embeddings and affine (linear) transforms.
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// A learned lookup table mapping token ids to dense vectors, equivalent to
+/// PyTorch's `nn.Embedding` as used by the paper (§IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use asteria_nn::{Embedding, Graph, ParamStore};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let emb = Embedding::new(&mut store, "emb", 44, 16, &mut rng);
+/// let mut g = Graph::new();
+/// let v = emb.lookup(&mut g, &store, 10);
+/// assert_eq!(g.value(v).shape(), (16, 1));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    weight: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a `(vocab, dim)` embedding table initialized uniformly in
+    /// `[-0.1, 0.1]`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let weight = store.add(name, Tensor::uniform(vocab, dim, 0.1, rng));
+        Embedding { weight, vocab, dim }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Underlying parameter id.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+
+    /// Looks up token `index`, returning a `(dim, 1)` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= vocab`.
+    pub fn lookup(&self, g: &mut Graph, store: &ParamStore, index: usize) -> NodeId {
+        assert!(
+            index < self.vocab,
+            "embedding index {index} out of range {}",
+            self.vocab
+        );
+        g.embed_row(store, self.weight, index)
+    }
+}
+
+/// An affine transform `y = Wx + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Linear {
+    /// Registers a `(outputs, inputs)` Xavier-initialized weight matrix and
+    /// a zero bias vector.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        inputs: usize,
+        outputs: usize,
+        rng: &mut R,
+    ) -> Self {
+        let weight = store.add(format!("{name}.w"), Tensor::xavier(outputs, inputs, rng));
+        let bias = store.add(format!("{name}.b"), Tensor::zeros(outputs, 1));
+        Linear {
+            weight,
+            bias: Some(bias),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Registers a bias-free linear transform.
+    pub fn new_no_bias<R: Rng>(
+        store: &mut ParamStore,
+        name: &str,
+        inputs: usize,
+        outputs: usize,
+        rng: &mut R,
+    ) -> Self {
+        let weight = store.add(format!("{name}.w"), Tensor::xavier(outputs, inputs, rng));
+        Linear {
+            weight,
+            bias: None,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output dimension.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Weight parameter id.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+
+    /// Applies the transform to a `(inputs, 1)` node.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = g.param(store, self.weight);
+        let wx = g.matvec(w, x);
+        match self.bias {
+            Some(b) => {
+                let bn = g.param(store, b);
+                g.add(wx, bn)
+            }
+            None => wx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embedding_lookup_returns_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let mut g = Graph::new();
+        let v = emb.lookup(&mut g, &store, 3);
+        assert_eq!(g.value(v).shape(), (4, 1));
+        assert_eq!(g.value(v), &store.value(emb.weight()).row_vector(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn embedding_rejects_out_of_range() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let mut g = Graph::new();
+        emb.lookup(&mut g, &store, 10);
+    }
+
+    #[test]
+    fn linear_applies_affine_transform() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        // Overwrite with known values.
+        *store.value_mut(lin.weight()) = Tensor::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 1.0]]);
+        let b = store.find("l.b").unwrap();
+        *store.value_mut(b) = Tensor::column(&[10.0, 20.0]);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::column(&[1.0, 2.0, 3.0]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).as_slice(), &[11.0, 25.0]);
+    }
+
+    #[test]
+    fn linear_no_bias_has_single_param() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Linear::new_no_bias(&mut store, "l", 3, 2, &mut rng);
+        assert_eq!(store.len(), 1);
+    }
+}

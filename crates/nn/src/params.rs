@@ -1,0 +1,308 @@
+//! Named trainable parameters with gradient accumulators.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// Container of all trainable parameters of a model.
+///
+/// The store owns both the parameter values and their gradient accumulators.
+/// A [`crate::graph::Graph`] reads values during the forward pass and
+/// accumulates gradients into the store during [`crate::graph::Graph::backward`].
+///
+/// # Examples
+///
+/// ```
+/// use asteria_nn::{ParamStore, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Tensor::ones(2, 2));
+/// assert_eq!(store.value(w).shape(), (2, 2));
+/// ```
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter with the same name already exists.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "duplicate parameter name: {name}"
+        );
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.entries.push(ParamEntry { name, value, grad });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable gradient accumulator of a parameter.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Looks up a parameter id by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(ParamId)
+    }
+
+    /// Ids of all parameters, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Resets every gradient accumulator to zero.
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill_zero();
+        }
+    }
+
+    /// Global L2 norm of all gradients; useful for clipping and diagnostics.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for e in &mut self.entries {
+                for v in e.grad.as_mut_slice() {
+                    *v *= scale;
+                }
+            }
+        }
+    }
+
+    /// Serializes all parameter values to a writer.
+    ///
+    /// The format is a simple little-endian binary layout: a magic tag,
+    /// the parameter count, then `(name, rows, cols, data)` records.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"ASNN")?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for e in &self.entries {
+            let name = e.name.as_bytes();
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name)?;
+            w.write_all(&(e.value.rows() as u32).to_le_bytes())?;
+            w.write_all(&(e.value.cols() as u32).to_le_bytes())?;
+            for v in e.value.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads parameter values previously written by [`ParamStore::save`]
+    /// into this store, matching parameters by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the stream is malformed, names are unknown,
+    /// or shapes do not match the registered parameters.
+    pub fn load<R: Read>(&mut self, mut r: R) -> io::Result<()> {
+        fn bad(msg: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+        }
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"ASNN" {
+            return Err(bad("bad magic"));
+        }
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let count = u32::from_le_bytes(u32buf) as usize;
+        for _ in 0..count {
+            r.read_exact(&mut u32buf)?;
+            let name_len = u32::from_le_bytes(u32buf) as usize;
+            if name_len > 1 << 20 {
+                return Err(bad("unreasonable name length"));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|_| bad("name not utf-8"))?;
+            r.read_exact(&mut u32buf)?;
+            let rows = u32::from_le_bytes(u32buf) as usize;
+            r.read_exact(&mut u32buf)?;
+            let cols = u32::from_le_bytes(u32buf) as usize;
+            let mut data = vec![0.0f32; rows * cols];
+            let mut f32buf = [0u8; 4];
+            for v in &mut data {
+                r.read_exact(&mut f32buf)?;
+                *v = f32::from_le_bytes(f32buf);
+            }
+            let id = self
+                .find(&name)
+                .ok_or_else(|| bad(&format!("unknown parameter {name}")))?;
+            if self.value(id).shape() != (rows, cols) {
+                return Err(bad(&format!("shape mismatch for {name}")));
+            }
+            *self.value_mut(id) = Tensor::from_vec(rows, cols, data);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ParamStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ParamStore({} params, {} weights)",
+            self.len(),
+            self.num_weights()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_find_and_value() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::ones(2, 3));
+        let b = s.add("b", Tensor::zeros(1, 1));
+        assert_eq!(s.find("a"), Some(a));
+        assert_eq!(s.find("b"), Some(b));
+        assert_eq!(s.find("c"), None);
+        assert_eq!(s.num_weights(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::ones(1, 1));
+        s.add("w", Tensor::ones(1, 1));
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::ones(2, 2));
+        s.grad_mut(a).add_assign(&Tensor::ones(2, 2));
+        assert_eq!(s.grad(a).as_slice(), &[1.0; 4]);
+        s.zero_grads();
+        assert_eq!(s.grad(a).as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::ones(1, 2));
+        *s.grad_mut(a) = Tensor::from_rows(&[&[3.0, 4.0]]);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        let g = s.grad(a).as_slice();
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut s = ParamStore::new();
+        let a = s.add("alpha", Tensor::from_rows(&[&[1.5, -2.5]]));
+        let b = s.add("beta", Tensor::full(2, 2, 0.25));
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+
+        let mut s2 = ParamStore::new();
+        let a2 = s2.add("alpha", Tensor::zeros(1, 2));
+        let b2 = s2.add("beta", Tensor::zeros(2, 2));
+        s2.load(buf.as_slice()).unwrap();
+        assert_eq!(s2.value(a2), s.value(a));
+        assert_eq!(s2.value(b2), s.value(b));
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::ones(2, 2));
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+
+        let mut s2 = ParamStore::new();
+        s2.add("w", Tensor::ones(3, 3));
+        assert!(s2.load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::ones(1, 1));
+        assert!(s.load(&b"XXXX\x00\x00\x00\x00"[..]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! `asteria-vulnsearch` — the paper's §V application: IoT-firmware
+//! vulnerability search.
+//!
+//! The paper encodes 5,979 vendor firmware images offline, then ranks all
+//! firmware functions against seven CVE queries by calibrated similarity,
+//! thresholding at the Youden-index operating point. Vendor firmware
+//! cannot ship here, so:
+//!
+//! - [`library`] supplies seven CVE-like MiniC vulnerable functions (with
+//!   patched variants, the way fixed firmware versions differ);
+//! - [`firmware`] builds a stripped, ARM-heavy synthetic firmware corpus
+//!   with those functions planted under recorded ground truth;
+//! - [`search`] reproduces the pipeline end to end: offline encoding of
+//!   the corpus, per-CVE ranking, Table IV scoring, and the top-k accuracy
+//!   metric of the Asteria-vs-Gemini end-to-end comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod firmware;
+pub mod library;
+pub mod report;
+pub mod search;
+
+pub use firmware::{build_firmware_corpus, FirmwareConfig, FirmwareImage, PlantedFunction};
+pub use library::{vulnerability_library, CveEntry};
+pub use report::{render_report, render_summary_lines};
+pub use search::{
+    build_search_index, encode_query, run_search, search, top_k_accuracy, CveSearchResult,
+    IndexedFunction, SearchHit, SearchIndex,
+};

@@ -1,0 +1,257 @@
+//! The vulnerability library: seven CVE-like entries (paper §V, Table IV).
+//!
+//! The real study searches for seven CVEs from OpenSSL, wget, libcurl and
+//! vsftpd. Those binaries cannot ship here, so each entry is a MiniC
+//! function modelled on the *shape* of the real vulnerable routine (buffer
+//! encode loops, fragment reassembly, glob parsing, …) together with a
+//! patched variant that differs the way real patches do — an added bounds
+//! check or corrected guard. The search task is then identical in
+//! structure: find the vulnerable variant planted in stripped firmware.
+
+/// One entry of the vulnerability library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CveEntry {
+    /// CVE-style identifier.
+    pub id: &'static str,
+    /// Host software package.
+    pub software: &'static str,
+    /// Vulnerable function name.
+    pub function: &'static str,
+    /// MiniC source of the vulnerable version.
+    pub vulnerable_source: String,
+    /// MiniC source of the patched version (same name, fixed logic).
+    pub patched_source: String,
+}
+
+/// Builds the seven-entry library mirroring Table IV.
+pub fn vulnerability_library() -> Vec<CveEntry> {
+    vec![
+        CveEntry {
+            id: "CVE-2016-2105",
+            software: "openssl",
+            function: "evp_encode_update",
+            // Base64-style encode loop missing an overflow check.
+            vulnerable_source: "int evp_encode_update(int inl, int pos) { \
+                int out[16]; int o = 0; int n = pos; \
+                while (inl > 0) { n += 1; \
+                  if (n >= 48) { int chunk = n / 3; \
+                    for (int i = 0; i < chunk % 8; i++) { out[o + i] = (n >> i) & 63; } \
+                    o += chunk; n = 0; ext_write(o); } \
+                  inl -= 1; } \
+                for (int i = 0; i < 4; i++) { out[i] = out[i] ^ 32; } \
+                return o + n; }"
+                .into(),
+            patched_source: "int evp_encode_update(int inl, int pos) { \
+                int out[16]; int o = 0; int n = pos; \
+                while (inl > 0) { n += 1; \
+                  if (n >= 48) { int chunk = n / 3; \
+                    if (o + chunk > 16) { ext_log(\"overflow\", o); return 0 - 1; } \
+                    for (int i = 0; i < chunk % 8; i++) { out[o + i] = (n >> i) & 63; } \
+                    o += chunk; n = 0; ext_write(o); } \
+                  inl -= 1; } \
+                for (int i = 0; i < 4; i++) { out[i] = out[i] ^ 32; } \
+                return o + n; }"
+                .into(),
+        },
+        CveEntry {
+            id: "CVE-2014-4877",
+            software: "wget",
+            function: "ftp_retrieve_glob",
+            // Symlink-following glob retrieval without a type check.
+            vulnerable_source: "int ftp_retrieve_glob(int count, int flags) { \
+                int got = 0; \
+                for (int i = 0; i < count % 16; i++) { \
+                  int kind = ext_read(i); \
+                  if (kind == 2 && (flags & 4) == 0) { continue; } \
+                  int rc = ext_recv(i, kind); \
+                  if (rc < 0) { ext_log(\"retrieve failed\", i); break; } \
+                  got += 1; } \
+                return got; }"
+                .into(),
+            patched_source: "int ftp_retrieve_glob(int count, int flags) { \
+                int got = 0; \
+                for (int i = 0; i < count % 16; i++) { \
+                  int kind = ext_read(i); \
+                  if (kind == 3) { ext_log(\"symlink skipped\", i); continue; } \
+                  if (kind == 2 && (flags & 4) == 0) { continue; } \
+                  int rc = ext_recv(i, kind); \
+                  if (rc < 0) { ext_log(\"retrieve failed\", i); break; } \
+                  got += 1; } \
+                return got; }"
+                .into(),
+        },
+        CveEntry {
+            id: "CVE-2014-0195",
+            software: "openssl",
+            function: "dtls1_reassemble_fragment",
+            // Fragment reassembly trusting the declared length.
+            vulnerable_source: "int dtls1_reassemble_fragment(int frag_off, int frag_len) { \
+                int buf[32]; int total = 0; \
+                int end = frag_off + frag_len; \
+                for (int i = frag_off; i < end % 64; i++) { \
+                  buf[i] = ext_read(i) & 255; total += 1; } \
+                if (total > 0) { ext_send(total, frag_off); } \
+                return total; }"
+                .into(),
+            patched_source: "int dtls1_reassemble_fragment(int frag_off, int frag_len) { \
+                int buf[32]; int total = 0; \
+                if (frag_off + frag_len > 32) { ext_log(\"bad fragment\", frag_len); \
+                  return 0 - 1; } \
+                int end = frag_off + frag_len; \
+                for (int i = frag_off; i < end % 64; i++) { \
+                  buf[i] = ext_read(i) & 255; total += 1; } \
+                if (total > 0) { ext_send(total, frag_off); } \
+                return total; }"
+                .into(),
+        },
+        CveEntry {
+            id: "CVE-2016-6303",
+            software: "openssl",
+            function: "mdc2_update",
+            // Digest update with an integer-overflowing length computation.
+            vulnerable_source: "int mdc2_update(int len, int md_i) { \
+                int h = md_i; int i = 0; \
+                while (i < len % 32) { \
+                  h = ((h << 5) + h) ^ ext_read(i); \
+                  h = h & 2147483647; i += 2; } \
+                ext_hash(h); return h; }"
+                .into(),
+            patched_source: "int mdc2_update(int len, int md_i) { \
+                int h = md_i; int i = 0; \
+                if (len < 0) { return 0; } \
+                while (i < len % 32) { \
+                  h = ((h << 5) + h) ^ ext_read(i); \
+                  h = h & 2147483647; i += 2; } \
+                ext_hash(h); return h; }"
+                .into(),
+        },
+        CveEntry {
+            id: "CVE-2016-8618",
+            software: "curl",
+            function: "curl_maprintf",
+            // printf-style formatter with an unchecked width multiply.
+            vulnerable_source: "int curl_maprintf(int width, int prec) { \
+                int produced = 0; \
+                for (int i = 0; i < 8; i++) { \
+                  int need = width * prec + i; \
+                  int cell = ext_alloc(need); \
+                  if (cell == 0) { break; } \
+                  produced += need % 7; } \
+                ext_write(produced); return produced; }"
+                .into(),
+            patched_source: "int curl_maprintf(int width, int prec) { \
+                int produced = 0; \
+                for (int i = 0; i < 8; i++) { \
+                  if (width != 0 && prec > 1000000 / width) { \
+                    ext_log(\"width overflow\", width); return 0 - 1; } \
+                  int need = width * prec + i; \
+                  int cell = ext_alloc(need); \
+                  if (cell == 0) { break; } \
+                  produced += need % 7; } \
+                ext_write(produced); return produced; }"
+                .into(),
+        },
+        CveEntry {
+            id: "CVE-2013-1944",
+            software: "curl",
+            function: "tailmatch",
+            // Suffix cookie-domain match that ignores embedded separators.
+            vulnerable_source: "int tailmatch(int alen, int blen) { \
+                if (blen > alen) { return 0; } \
+                int i = 0; int ok = 1; \
+                while (i < blen % 24) { \
+                  int ca = ext_read(alen - blen + i); \
+                  int cb = ext_read(i + 4096); \
+                  if ((ca | 32) != (cb | 32)) { ok = 0; break; } \
+                  i += 1; } \
+                return ok; }"
+                .into(),
+            patched_source: "int tailmatch(int alen, int blen) { \
+                if (blen > alen) { return 0; } \
+                if (blen != alen) { \
+                  int sep = ext_read(alen - blen - 1); \
+                  if (sep != 46) { return 0; } } \
+                int i = 0; int ok = 1; \
+                while (i < blen % 24) { \
+                  int ca = ext_read(alen - blen + i); \
+                  int cb = ext_read(i + 4096); \
+                  if ((ca | 32) != (cb | 32)) { ok = 0; break; } \
+                  i += 1; } \
+                return ok; }"
+                .into(),
+        },
+        CveEntry {
+            id: "CVE-2011-0762",
+            software: "vsftpd",
+            function: "vsf_filename_passes_filter",
+            // Glob filter with unbounded backtracking state.
+            vulnerable_source: "int vsf_filename_passes_filter(int name_len, int filt_len) { \
+                int matched = 0; int iters = 0; \
+                int i = 0; int j = 0; \
+                while (i < name_len % 24 && j < filt_len % 24) { \
+                  iters += 1; \
+                  int fc = ext_read(j + 256); \
+                  if (fc == 42) { j += 1; i += 1; matched += 1; continue; } \
+                  if (fc == ext_read(i)) { i += 1; j += 1; matched += 1; } \
+                  else { i += 1; } } \
+                return matched * 100 + iters; }"
+                .into(),
+            patched_source: "int vsf_filename_passes_filter(int name_len, int filt_len) { \
+                int matched = 0; int iters = 0; \
+                int i = 0; int j = 0; \
+                while (i < name_len % 24 && j < filt_len % 24) { \
+                  iters += 1; \
+                  if (iters > 100) { ext_log(\"filter too complex\", iters); return 0; } \
+                  int fc = ext_read(j + 256); \
+                  if (fc == 42) { j += 1; i += 1; matched += 1; continue; } \
+                  if (fc == ext_read(i)) { i += 1; j += 1; matched += 1; } \
+                  else { i += 1; } } \
+                return matched * 100 + iters; }"
+                .into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asteria_compiler::{compile_program, Arch};
+    use asteria_lang::parse;
+
+    #[test]
+    fn library_has_seven_entries() {
+        assert_eq!(vulnerability_library().len(), 7);
+    }
+
+    #[test]
+    fn all_sources_parse_and_compile() {
+        for e in vulnerability_library() {
+            for src in [&e.vulnerable_source, &e.patched_source] {
+                let p = parse(src).unwrap_or_else(|err| panic!("{}: {err}", e.id));
+                assert_eq!(p.functions[0].name, e.function);
+                for arch in Arch::ALL {
+                    compile_program(&p, arch)
+                        .unwrap_or_else(|err| panic!("{} on {arch}: {err}", e.id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vulnerable_and_patched_differ() {
+        for e in vulnerability_library() {
+            assert_ne!(e.vulnerable_source, e.patched_source, "{}", e.id);
+        }
+    }
+
+    #[test]
+    fn entries_are_distinct_functions() {
+        let lib = vulnerability_library();
+        for i in 0..lib.len() {
+            for j in i + 1..lib.len() {
+                assert_ne!(lib[i].function, lib[j].function);
+                assert_ne!(lib[i].id, lib[j].id);
+            }
+        }
+    }
+}

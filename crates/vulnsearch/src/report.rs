@@ -1,0 +1,125 @@
+//! Report rendering: turns search results into the markdown table shape
+//! of the paper's Table IV.
+
+use std::fmt::Write;
+
+use crate::search::CveSearchResult;
+
+/// Renders Table IV-style markdown from per-CVE search results.
+///
+/// # Examples
+///
+/// ```
+/// use asteria_vulnsearch::{render_report, CveSearchResult};
+///
+/// let results = vec![CveSearchResult {
+///     cve: "CVE-2016-2105".into(),
+///     software: "openssl".into(),
+///     function: "evp_encode_update".into(),
+///     candidates: 11,
+///     confirmed: 5,
+///     total_vulnerable: 5,
+///     affected_models: vec!["netguard R8".into()],
+///     top10_hits: 5,
+/// }];
+/// let md = render_report(&results, 0.62);
+/// assert!(md.contains("CVE-2016-2105"));
+/// assert!(md.contains("| 5 |"));
+/// ```
+pub fn render_report(results: &[CveSearchResult], threshold: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Vulnerability search report (threshold {threshold:.2})");
+    out.push('\n');
+    out.push_str("| # | CVE | software | function | candidates | confirmed | planted | affected models |\n");
+    out.push_str("|---|-----|----------|----------|------------|-----------|---------|------------------|\n");
+    let mut total_confirmed = 0;
+    let mut total_planted = 0;
+    for (i, r) in results.iter().enumerate() {
+        let models = if r.affected_models.is_empty() {
+            "—".to_string()
+        } else {
+            r.affected_models.join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            i + 1,
+            r.cve,
+            r.software,
+            r.function,
+            r.candidates,
+            r.confirmed,
+            r.total_vulnerable,
+            models
+        );
+        total_confirmed += r.confirmed;
+        total_planted += r.total_vulnerable;
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "confirmed {total_confirmed} of {total_planted} planted vulnerable functions"
+    );
+    out
+}
+
+/// Per-CVE recall line summary (compact log form).
+pub fn render_summary_lines(results: &[CveSearchResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| {
+            format!(
+                "{}: {}/{} confirmed ({} candidates, top10 {})",
+                r.cve, r.confirmed, r.total_vulnerable, r.candidates, r.top10_hits
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<CveSearchResult> {
+        vec![
+            CveSearchResult {
+                cve: "CVE-A".into(),
+                software: "s1".into(),
+                function: "f1".into(),
+                candidates: 3,
+                confirmed: 2,
+                total_vulnerable: 2,
+                affected_models: vec!["v m1".into(), "v m2".into()],
+                top10_hits: 2,
+            },
+            CveSearchResult {
+                cve: "CVE-B".into(),
+                software: "s2".into(),
+                function: "f2".into(),
+                candidates: 0,
+                confirmed: 0,
+                total_vulnerable: 1,
+                affected_models: vec![],
+                top10_hits: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_contains_all_rows_and_totals() {
+        let md = render_report(&sample(), 0.5);
+        assert!(md.contains("CVE-A"));
+        assert!(md.contains("CVE-B"));
+        assert!(md.contains("v m1, v m2"));
+        assert!(md.contains("| — |"));
+        assert!(md.contains("confirmed 2 of 3"));
+    }
+
+    #[test]
+    fn summary_lines_are_one_per_cve() {
+        let lines = render_summary_lines(&sample());
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("2/2 confirmed"));
+        assert!(lines[1].contains("0/1 confirmed"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The vulnerability search itself (paper §V): encode the whole firmware
+//! corpus offline, then rank every function against each CVE query by
+//! calibrated similarity.
+
+use asteria_compiler::{compile_program, Arch};
+use asteria_core::{
+    encode_function, extract_binary, extract_function, function_similarity, AsteriaModel,
+    FunctionEncoding, DEFAULT_INLINE_BETA,
+};
+use asteria_lang::parse;
+
+use crate::firmware::FirmwareImage;
+use crate::library::CveEntry;
+
+/// One firmware function in the search index.
+#[derive(Debug, Clone)]
+pub struct IndexedFunction {
+    /// Image index in the corpus.
+    pub image: usize,
+    /// Binary index within the image.
+    pub binary: usize,
+    /// Stripped display name.
+    pub name: String,
+    /// Cached offline encoding.
+    pub encoding: FunctionEncoding,
+    /// Ground truth: `Some((cve_index, vulnerable))` for planted library
+    /// functions, `None` for filler code. Used only for scoring.
+    pub ground_truth: Option<(usize, bool)>,
+}
+
+/// The offline product: every firmware function encoded once.
+#[derive(Debug, Clone, Default)]
+pub struct SearchIndex {
+    /// All indexed functions.
+    pub functions: Vec<IndexedFunction>,
+}
+
+impl SearchIndex {
+    /// Number of indexed functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+/// Encodes every function of every firmware binary (the offline phase).
+///
+/// # Panics
+///
+/// Panics on extraction failures, which indicate decompiler bugs.
+pub fn build_search_index(model: &AsteriaModel, firmware: &[FirmwareImage]) -> SearchIndex {
+    let mut index = SearchIndex::default();
+    for (ii, img) in firmware.iter().enumerate() {
+        for (bi, binary) in img.binaries.iter().enumerate() {
+            let extracted =
+                extract_binary(binary, DEFAULT_INLINE_BETA).expect("firmware extraction");
+            for f in extracted {
+                let ground_truth = img
+                    .planted
+                    .iter()
+                    .find(|p| p.binary_index == bi && p.display_name == f.name)
+                    .map(|p| (p.cve_index, p.vulnerable));
+                index.functions.push(IndexedFunction {
+                    image: ii,
+                    binary: bi,
+                    name: f.name.clone(),
+                    encoding: encode_function(model, &f),
+                    ground_truth,
+                });
+            }
+        }
+    }
+    index
+}
+
+/// Encodes a CVE query function (compiled for `query_arch`, as the analyst
+/// would compile or obtain a reference build of the vulnerable library).
+///
+/// # Panics
+///
+/// Panics if the library source fails to compile (covered by library
+/// tests).
+pub fn encode_query(model: &AsteriaModel, entry: &CveEntry, query_arch: Arch) -> FunctionEncoding {
+    let program = parse(&entry.vulnerable_source).expect("library source parses");
+    let binary = compile_program(&program, query_arch).expect("library compiles");
+    let sym = binary.symbol_index(entry.function).expect("query symbol");
+    let f = extract_function(&binary, sym, DEFAULT_INLINE_BETA).expect("query extraction");
+    encode_function(model, &f)
+}
+
+/// A ranked search hit.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// Index into [`SearchIndex::functions`].
+    pub function: usize,
+    /// Calibrated similarity score ℱ.
+    pub score: f64,
+}
+
+/// Ranks the whole index against one query (the online phase).
+pub fn search(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    query: &FunctionEncoding,
+) -> Vec<SearchHit> {
+    let mut hits: Vec<SearchHit> = index
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| SearchHit {
+            function: i,
+            score: function_similarity(model, query, &f.encoding),
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    hits
+}
+
+/// Table IV-style per-CVE result.
+#[derive(Debug, Clone)]
+pub struct CveSearchResult {
+    /// CVE identifier.
+    pub cve: String,
+    /// Host software.
+    pub software: String,
+    /// Vulnerable function name.
+    pub function: String,
+    /// Candidates scoring at or above the threshold.
+    pub candidates: usize,
+    /// Confirmed vulnerable functions among the candidates (ground truth).
+    pub confirmed: usize,
+    /// Vulnerable plants that exist in the corpus (recall denominator).
+    pub total_vulnerable: usize,
+    /// Affected `vendor model` strings, deduplicated.
+    pub affected_models: Vec<String>,
+    /// True positives within the top-10 ranked results (§V end-to-end).
+    pub top10_hits: usize,
+}
+
+/// Runs the full Table IV experiment: searches every CVE against the
+/// index, thresholds candidates, and scores them against ground truth.
+pub fn run_search(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    firmware: &[FirmwareImage],
+    library: &[CveEntry],
+    threshold: f64,
+    query_arch: Arch,
+) -> Vec<CveSearchResult> {
+    library
+        .iter()
+        .enumerate()
+        .map(|(cve_index, entry)| {
+            let query = encode_query(model, entry, query_arch);
+            let hits = search(model, index, &query);
+            let mut candidates = 0;
+            let mut confirmed = 0;
+            let mut affected: Vec<String> = Vec::new();
+            for h in &hits {
+                if h.score < threshold {
+                    break;
+                }
+                candidates += 1;
+                let f = &index.functions[h.function];
+                if f.ground_truth == Some((cve_index, true)) {
+                    confirmed += 1;
+                    let img = &firmware[f.image];
+                    let label = format!("{} {}", img.vendor, img.model);
+                    if !affected.contains(&label) {
+                        affected.push(label);
+                    }
+                }
+            }
+            let top10_hits = hits
+                .iter()
+                .take(10)
+                .filter(|h| index.functions[h.function].ground_truth == Some((cve_index, true)))
+                .count();
+            let total_vulnerable = index
+                .functions
+                .iter()
+                .filter(|f| f.ground_truth == Some((cve_index, true)))
+                .count();
+            CveSearchResult {
+                cve: entry.id.to_string(),
+                software: entry.software.to_string(),
+                function: entry.function.to_string(),
+                candidates,
+                confirmed,
+                total_vulnerable,
+                affected_models: affected,
+                top10_hits,
+            }
+        })
+        .collect()
+}
+
+/// Top-k accuracy across CVEs: the fraction of top-k slots filled with
+/// true vulnerable functions, capped by availability (the §V end-to-end
+/// comparison metric between Asteria and Gemini).
+pub fn top_k_accuracy(results: &[CveSearchResult], k: usize) -> f64 {
+    let mut hit = 0usize;
+    let mut possible = 0usize;
+    for r in results {
+        hit += r.top10_hits.min(k);
+        possible += r.total_vulnerable.min(k);
+    }
+    if possible == 0 {
+        return 0.0;
+    }
+    hit as f64 / possible as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::{build_firmware_corpus, FirmwareConfig};
+    use crate::library::vulnerability_library;
+    use asteria_core::ModelConfig;
+
+    fn fixture() -> (AsteriaModel, Vec<FirmwareImage>, SearchIndex) {
+        let model = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            ..Default::default()
+        });
+        let firmware = build_firmware_corpus(
+            &FirmwareConfig {
+                images: 5,
+                ..Default::default()
+            },
+            &vulnerability_library(),
+        );
+        let index = build_search_index(&model, &firmware);
+        (model, firmware, index)
+    }
+
+    #[test]
+    fn index_covers_all_functions() {
+        let (_, firmware, index) = fixture();
+        let expected: usize = firmware.iter().map(|i| i.function_count()).sum();
+        // Some tiny functions may be filtered by the AST-size rule, but
+        // most must be present.
+        assert!(index.len() > expected / 2, "{} of {expected}", index.len());
+    }
+
+    #[test]
+    fn ground_truth_is_attached() {
+        let (_, firmware, index) = fixture();
+        let planted: usize = firmware.iter().map(|i| i.planted.len()).sum();
+        let attached = index
+            .functions
+            .iter()
+            .filter(|f| f.ground_truth.is_some())
+            .count();
+        assert_eq!(attached, planted);
+    }
+
+    #[test]
+    fn search_is_sorted_descending() {
+        let (model, _, index) = fixture();
+        let lib = vulnerability_library();
+        let q = encode_query(&model, &lib[0], Arch::X86);
+        let hits = search(&model, &index, &q);
+        assert_eq!(hits.len(), index.len());
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn run_search_produces_one_result_per_cve() {
+        let (model, firmware, index) = fixture();
+        let lib = vulnerability_library();
+        let results = run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86);
+        assert_eq!(results.len(), 7);
+        for r in &results {
+            assert!(r.confirmed <= r.candidates);
+            assert!(r.top10_hits <= 10);
+        }
+    }
+
+    #[test]
+    fn top_k_accuracy_bounds() {
+        let (model, firmware, index) = fixture();
+        let lib = vulnerability_library();
+        let results = run_search(&model, &index, &firmware, &lib, 0.0, Arch::X86);
+        let acc = top_k_accuracy(&results, 10);
+        assert!((0.0..=1.0).contains(&acc), "{acc}");
+    }
+}

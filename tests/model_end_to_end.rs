@@ -1,0 +1,142 @@
+//! End-to-end model training on a real (small) synthetic corpus: the
+//! trained Asteria model must separate homologous from non-homologous
+//! cross-architecture pairs well above chance, calibration must help or
+//! at least not hurt, and encodings must be cache-consistent.
+
+use asteria::core::{calibrated_similarity, train, AsteriaModel, ModelConfig, TrainOptions};
+use asteria::datasets::{
+    build_corpus, build_pairs, to_train_pairs, Corpus, CorpusConfig, PairConfig, PairSet,
+};
+use asteria::eval::{auc, ScoredPair};
+
+fn scores(
+    model: &AsteriaModel,
+    corpus: &Corpus,
+    set: &PairSet,
+    calibrate: bool,
+) -> Vec<ScoredPair> {
+    set.pairs
+        .iter()
+        .map(|p| {
+            let ia = &corpus.instances[p.a];
+            let ib = &corpus.instances[p.b];
+            let m = model.similarity_from_encodings(
+                &model.encode(&ia.extracted.tree),
+                &model.encode(&ib.extracted.tree),
+            ) as f64;
+            let s = if calibrate {
+                calibrated_similarity(m, ia.extracted.callee_count, ib.extracted.callee_count)
+            } else {
+                m
+            };
+            ScoredPair::new(s, p.homologous)
+        })
+        .collect()
+}
+
+fn fixture() -> (Corpus, PairSet, PairSet) {
+    let corpus = build_corpus(&CorpusConfig {
+        packages: 6,
+        functions_per_package: 6,
+        seed: 33,
+        ..Default::default()
+    });
+    let pairs = build_pairs(
+        &corpus,
+        &PairConfig {
+            positives_per_combination: 25,
+            negatives_per_combination: 25,
+            seed: 3,
+        },
+    );
+    let (train_set, test_set) = pairs.split(0.8, 5);
+    (corpus, train_set, test_set)
+}
+
+#[test]
+fn training_reaches_high_auc_on_heldout_pairs() {
+    let (corpus, train_set, test_set) = fixture();
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    let before = auc(&scores(&model, &corpus, &test_set, false));
+    let tp = to_train_pairs(&corpus, &train_set);
+    train(
+        &mut model,
+        &tp,
+        &TrainOptions {
+            epochs: 6,
+            seed: 7,
+            verbose: false,
+        },
+        None,
+    );
+    let after = auc(&scores(&model, &corpus, &test_set, false));
+    assert!(
+        after > 0.9,
+        "trained AUC too low: {after:.4} (untrained was {before:.4})"
+    );
+    assert!(
+        after >= before - 0.05,
+        "training must not destroy the model"
+    );
+}
+
+#[test]
+fn calibration_does_not_hurt() {
+    let (corpus, train_set, test_set) = fixture();
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    let tp = to_train_pairs(&corpus, &train_set);
+    train(
+        &mut model,
+        &tp,
+        &TrainOptions {
+            epochs: 6,
+            seed: 7,
+            verbose: false,
+        },
+        None,
+    );
+    let woc = auc(&scores(&model, &corpus, &test_set, false));
+    let with = auc(&scores(&model, &corpus, &test_set, true));
+    assert!(
+        with >= woc - 0.02,
+        "calibration hurt badly: with={with:.4} woc={woc:.4}"
+    );
+}
+
+#[test]
+fn model_roundtrips_through_serialization_after_training() {
+    let (corpus, train_set, test_set) = fixture();
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    let tp = to_train_pairs(&corpus, &train_set);
+    train(
+        &mut model,
+        &tp,
+        &TrainOptions {
+            epochs: 2,
+            seed: 7,
+            verbose: false,
+        },
+        None,
+    );
+    let snapshot = model.snapshot();
+    let mut restored = AsteriaModel::new(ModelConfig::default());
+    restored.restore(&snapshot);
+    let a = scores(&model, &corpus, &test_set, true);
+    let b = scores(&restored, &corpus, &test_set, true);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn cached_encodings_equal_full_forward() {
+    let (corpus, _, test_set) = fixture();
+    let model = AsteriaModel::new(ModelConfig::default());
+    for p in test_set.pairs.iter().take(10) {
+        let ta = &corpus.instances[p.a].extracted.tree;
+        let tb = &corpus.instances[p.b].extracted.tree;
+        let full = model.similarity(ta, tb);
+        let fast = model.similarity_from_encodings(&model.encode(ta), &model.encode(tb));
+        assert!((full - fast).abs() < 1e-5, "{full} vs {fast}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration: source → 4 binaries → VM semantics → ASTs →
+//! digitalized trees, checking the invariants the whole system rests on.
+
+use asteria::compiler::{compile_program, Arch, Binary, Vm};
+use asteria::core::{binarize, digitalize, extract_binary, DEFAULT_INLINE_BETA};
+use asteria::decompiler::decompile_binary;
+use asteria::lang::{parse, Interp};
+
+const SRC: &str = r#"
+    int table_sum(int n) {
+        int tab[8];
+        for (int i = 0; i < 8; i++) { tab[i] = i * n; }
+        int s = 0;
+        for (int i = 0; i < 8; i++) { s += tab[i]; }
+        return s;
+    }
+    int dispatch(int x) {
+        switch (x % 4) {
+        case 0: return table_sum(x);
+        case 1: return x * 2;
+        case 2: return ext_handle(x);
+        default: return 0 - x;
+        }
+    }
+    int main_loop(int n) {
+        int acc = 0;
+        int i = 0;
+        while (i < n % 24) {
+            acc += dispatch(i);
+            if (acc > 100000) { break; }
+            i++;
+        }
+        return acc;
+    }
+"#;
+
+fn binaries() -> Vec<Binary> {
+    let p = parse(SRC).expect("parse");
+    Arch::ALL
+        .iter()
+        .map(|a| compile_program(&p, *a).expect("compile"))
+        .collect()
+}
+
+#[test]
+fn every_arch_computes_the_reference_semantics() {
+    let p = parse(SRC).unwrap();
+    for args in [0i64, 3, 7, 23, 100] {
+        let expected = Interp::new(&p).call("main_loop", &[args]).unwrap();
+        for b in binaries() {
+            let sym = b.symbol_index("main_loop").unwrap();
+            let got = Vm::new(&b).call(sym, &[args]).unwrap();
+            assert_eq!(got, expected, "{} diverged on main_loop({args})", b.arch);
+        }
+    }
+}
+
+#[test]
+fn decompilation_covers_every_function_on_every_arch() {
+    for b in binaries() {
+        let funcs = decompile_binary(&b).unwrap();
+        assert_eq!(funcs.len(), 3, "{}", b.arch);
+        for f in &funcs {
+            assert!(f.ast_size() >= 5, "{}: {} too small", b.arch, f.name);
+            assert!(f.inst_count > 0);
+        }
+    }
+}
+
+#[test]
+fn extraction_filters_and_features_are_consistent() {
+    for b in binaries() {
+        let fns = extract_binary(&b, DEFAULT_INLINE_BETA).unwrap();
+        for f in &fns {
+            assert_eq!(f.tree.size(), f.ast_size);
+            // Binarization preserves node count.
+            assert!(f.ast_size >= 5);
+        }
+        // main_loop calls dispatch (and dispatch calls two more).
+        let main = fns.iter().find(|f| f.name == "main_loop").unwrap();
+        assert!(
+            main.callee_count >= 1,
+            "{}: {:?}",
+            b.arch,
+            main.callee_count
+        );
+    }
+}
+
+#[test]
+fn callee_counts_are_arch_invariant() {
+    let counts: Vec<Vec<usize>> = binaries()
+        .iter()
+        .map(|b| {
+            let mut fns = extract_binary(b, DEFAULT_INLINE_BETA).unwrap();
+            fns.sort_by(|a, b| a.name.cmp(&b.name));
+            fns.iter().map(|f| f.callee_count).collect()
+        })
+        .collect();
+    for w in counts.windows(2) {
+        assert_eq!(
+            w[0], w[1],
+            "callee counts must not depend on the architecture"
+        );
+    }
+}
+
+#[test]
+fn digitalization_is_deterministic_and_stripping_safe() {
+    let p = parse(SRC).unwrap();
+    let mut b = compile_program(&p, Arch::Arm).unwrap();
+    let before: Vec<_> = decompile_binary(&b)
+        .unwrap()
+        .iter()
+        .map(|f| binarize(&digitalize(f)))
+        .collect();
+    b.strip();
+    let after: Vec<_> = decompile_binary(&b)
+        .unwrap()
+        .iter()
+        .map(|f| binarize(&digitalize(f)))
+        .collect();
+    // Stripping changes names but must not change the recovered trees.
+    assert_eq!(before, after);
+}
+
+#[test]
+fn binary_roundtrips_through_serialization() {
+    for b in binaries() {
+        let mut buf = Vec::new();
+        b.save(&mut buf).unwrap();
+        let b2 = Binary::load(buf.as_slice()).unwrap();
+        assert_eq!(b, b2);
+    }
+}
