@@ -39,6 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrupt;
+
 pub use asteria_baselines as baselines;
 pub use asteria_bignum as bignum;
 pub use asteria_compiler as compiler;

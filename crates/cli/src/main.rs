@@ -22,6 +22,34 @@ use asteria::core::{
 use asteria::datasets::{build_corpus, build_pairs, to_train_pairs, CorpusConfig, PairConfig};
 use asteria::decompiler::{decompile_function, render_function};
 
+/// A CLI failure, split by who got it wrong: the invocation (exit code
+/// 2, like the conventional shell usage-error code) or the input data
+/// (exit code 1 — unparsable binaries, decode/decompile failures, I/O).
+enum CliError {
+    /// The command line itself is malformed.
+    Usage(String),
+    /// The inputs failed to load, decode, decompile or execute.
+    Data(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Data(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Data(msg.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -37,13 +65,17 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!(
+        Some(other) => Err(CliError::usage(format!(
             "unknown command `{other}` (try `asteria-cli help`)"
-        )),
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
+            eprintln!("usage error: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Data(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
@@ -96,17 +128,18 @@ fn load_binary(path: &str) -> Result<Binary, String> {
     Binary::load(bytes.as_slice()).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), String> {
+fn cmd_compile(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
     let src_path = pos
         .first()
-        .ok_or("usage: compile <src.mc> --arch A -o OUT")?;
+        .ok_or_else(|| CliError::usage("usage: compile <src.mc> --arch A -o OUT"))?;
     let arch_name = opt_value(args, "--arch").unwrap_or("x86");
     let arch =
-        Arch::from_name(arch_name).ok_or_else(|| format!("unknown architecture {arch_name}"))?;
+        Arch::from_name(arch_name)
+        .ok_or_else(|| CliError::usage(format!("unknown architecture {arch_name}")))?;
     let out = opt_value(args, "-o")
         .or(opt_value(args, "--out"))
-        .ok_or("missing -o OUT")?;
+        .ok_or_else(|| CliError::usage("missing -o OUT"))?;
     let src = fs::read_to_string(src_path).map_err(|e| format!("{src_path}: {e}"))?;
     let program = asteria::lang::parse(&src).map_err(|e| e.to_string())?;
     let binary = compile_program(&program, arch).map_err(|e| e.to_string())?;
@@ -123,9 +156,9 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
-    let path = pos.first().ok_or("usage: info <bin.sbf>")?;
+    let path = pos.first().ok_or_else(|| CliError::usage("usage: info <bin.sbf>"))?;
     let b = load_binary(path)?;
     println!("{b}");
     println!(
@@ -163,11 +196,11 @@ fn resolve_function(b: &Binary, name: Option<&str>) -> Result<Vec<usize>, String
     }
 }
 
-fn cmd_disasm(args: &[String]) -> Result<(), String> {
+fn cmd_disasm(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
     let path = pos
         .first()
-        .ok_or("usage: disasm <bin.sbf> [--function NAME]")?;
+        .ok_or_else(|| CliError::usage("usage: disasm <bin.sbf> [--function NAME]"))?;
     let b = load_binary(path)?;
     for idx in resolve_function(&b, opt_value(args, "--function"))? {
         let s = &b.symbols[idx];
@@ -184,11 +217,11 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompile(args: &[String]) -> Result<(), String> {
+fn cmd_decompile(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
     let path = pos
         .first()
-        .ok_or("usage: decompile <bin.sbf> [--function NAME]")?;
+        .ok_or_else(|| CliError::usage("usage: decompile <bin.sbf> [--function NAME]"))?;
     let b = load_binary(path)?;
     for idx in resolve_function(&b, opt_value(args, "--function"))? {
         if b.symbols[idx].kind != SymbolKind::Function {
@@ -201,10 +234,10 @@ fn cmd_decompile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
     if pos.len() < 2 {
-        return Err("usage: run <bin.sbf> <function> [int args…]".into());
+        return Err(CliError::usage("usage: run <bin.sbf> <function> [int args…]"));
     }
     let b = load_binary(pos[0])?;
     let sym = b
@@ -213,7 +246,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .position(|s| s.display_name() == pos[1])
         .ok_or_else(|| format!("no function named {}", pos[1]))?;
     let call_args: Result<Vec<i64>, _> = pos[2..].iter().map(|a| a.parse::<i64>()).collect();
-    let call_args = call_args.map_err(|e| format!("bad argument: {e}"))?;
+    let call_args = call_args.map_err(|e| CliError::usage(format!("bad argument: {e}")))?;
     let result = Vm::new(&b)
         .call(sym, &call_args)
         .map_err(|e| e.to_string())?;
@@ -221,12 +254,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_strip(args: &[String]) -> Result<(), String> {
+fn cmd_strip(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
-    let path = pos.first().ok_or("usage: strip <bin.sbf> -o OUT")?;
+    let path = pos.first().ok_or_else(|| CliError::usage("usage: strip <bin.sbf> -o OUT"))?;
     let out = opt_value(args, "-o")
         .or(opt_value(args, "--out"))
-        .ok_or("missing -o OUT")?;
+        .ok_or_else(|| CliError::usage("missing -o OUT"))?;
     let mut b = load_binary(path)?;
     b.strip();
     let mut buf = Vec::new();
@@ -236,18 +269,18 @@ fn cmd_strip(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let out = opt_value(args, "-o")
         .or(opt_value(args, "--out"))
-        .ok_or("missing -o MODEL")?;
+        .ok_or_else(|| CliError::usage("missing -o MODEL"))?;
     let packages: usize = opt_value(args, "--packages")
         .unwrap_or("8")
         .parse()
-        .map_err(|_| "bad --packages")?;
+        .map_err(|_| CliError::usage("bad --packages"))?;
     let epochs: usize = opt_value(args, "--epochs")
         .unwrap_or("8")
         .parse()
-        .map_err(|_| "bad --epochs")?;
+        .map_err(|_| CliError::usage("bad --epochs"))?;
     eprintln!("building corpus ({packages} packages × 4 ISAs)…");
     let corpus = build_corpus(&CorpusConfig {
         packages,
@@ -275,15 +308,17 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_target(spec: &str) -> Result<(&str, &str), String> {
+fn parse_target(spec: &str) -> Result<(&str, &str), CliError> {
     spec.split_once(':')
-        .ok_or_else(|| format!("expected <file.sbf>:<function>, got {spec}"))
+        .ok_or_else(|| CliError::usage(format!("expected <file.sbf>:<function>, got {spec}")))
 }
 
-fn cmd_similarity(args: &[String]) -> Result<(), String> {
+fn cmd_similarity(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
     if pos.len() < 2 {
-        return Err("usage: similarity <a.sbf>:<func> <b.sbf>:<func> [--model M]".into());
+        return Err(CliError::usage(
+            "usage: similarity <a.sbf>:<func> <b.sbf>:<func> [--model M]",
+        ));
     }
     let (path_a, func_a) = parse_target(pos[0])?;
     let (path_b, func_b) = parse_target(pos[1])?;

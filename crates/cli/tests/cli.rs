@@ -156,7 +156,7 @@ fn strip_removes_names_and_similarity_scores() {
 #[test]
 fn unknown_command_fails_gracefully() {
     let out = cli().args(["frobnicate"]).output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 }
 
@@ -166,6 +166,98 @@ fn missing_file_reports_error() {
         .args(["info", "/nonexistent/file.sbf"])
         .output()
         .expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    // Missing positional argument.
+    let out = cli().args(["disasm"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    // Bad flag value.
+    let src = write_demo();
+    let out = cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "--arch",
+            "mips",
+            "-o",
+            "/tmp/never.sbf",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown architecture"));
+    // Non-integer run argument.
+    let bin = temp_path("usage_arm.sbf");
+    assert!(cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "--arch",
+            "arm",
+            "-o",
+            bin.to_str().unwrap()
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let out = cli()
+        .args(["run", bin.to_str().unwrap(), "double_it", "not-a-number"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn malformed_sbf_exits_with_code_1_not_a_panic() {
+    let junk = temp_path("junk.sbf");
+    std::fs::write(&junk, b"not an sbf file at all").expect("write junk");
+    for cmd in ["info", "disasm", "decompile"] {
+        let out = cli()
+            .args([cmd, junk.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(1), "{cmd}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("cannot parse"), "{cmd}: {err}");
+        assert!(!err.contains("panicked"), "{cmd}: {err}");
+    }
+}
+
+#[test]
+fn corrupt_code_reports_decode_offset() {
+    // Compile a good binary, then scribble over the first symbol's code
+    // so disassembly hits a bad opcode; stderr must name the byte offset.
+    let src = write_demo();
+    let bin = temp_path("corrupt_arm.sbf");
+    assert!(cli()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "--arch",
+            "arm",
+            "-o",
+            bin.to_str().unwrap()
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let bytes = std::fs::read(&bin).expect("read sbf");
+    let mut b = asteria::compiler::Binary::load(bytes.as_slice()).expect("parse sbf");
+    b.symbols[0].code = vec![0xff; 8]; // 0xff is an invalid ARM opcode
+    let mut buf = Vec::new();
+    b.save(&mut buf).expect("re-save");
+    std::fs::write(&bin, &buf).expect("write corrupted");
+    let out = cli()
+        .args(["disasm", bin.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "{err}");
+    assert!(err.contains("bad opcode") && err.contains("at byte 0"), "{err}");
 }

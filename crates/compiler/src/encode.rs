@@ -123,35 +123,32 @@ enum Tag {
 const TAG_COUNT: u8 = 20;
 
 impl Tag {
+    /// Total decode: every byte maps to `Some(tag)` or `None`, with no
+    /// panicking arm — this runs on attacker-controlled input.
     fn from_u8(v: u8) -> Option<Tag> {
-        if v < TAG_COUNT {
-            // Safe: repr(u8) with contiguous discriminants 0..TAG_COUNT.
-            Some(match v {
-                0 => Tag::MovImm32,
-                1 => Tag::MovImm64,
-                2 => Tag::Mov,
-                3 => Tag::LoadStr,
-                4 => Tag::Load,
-                5 => Tag::Store,
-                6 => Tag::LoadIdx,
-                7 => Tag::StoreIdx,
-                8 => Tag::Alu3,
-                9 => Tag::Alu2,
-                10 => Tag::Alu2Mem,
-                11 => Tag::UnAlu,
-                12 => Tag::SetCc,
-                13 => Tag::CSel,
-                14 => Tag::Brnz,
-                15 => Tag::Jmp,
-                16 => Tag::Push,
-                17 => Tag::Call,
-                18 => Tag::Ret,
-                19 => Tag::Nop,
-                _ => unreachable!(),
-            })
-        } else {
-            None
-        }
+        Some(match v {
+            0 => Tag::MovImm32,
+            1 => Tag::MovImm64,
+            2 => Tag::Mov,
+            3 => Tag::LoadStr,
+            4 => Tag::Load,
+            5 => Tag::Store,
+            6 => Tag::LoadIdx,
+            7 => Tag::StoreIdx,
+            8 => Tag::Alu3,
+            9 => Tag::Alu2,
+            10 => Tag::Alu2Mem,
+            11 => Tag::UnAlu,
+            12 => Tag::SetCc,
+            13 => Tag::CSel,
+            14 => Tag::Brnz,
+            15 => Tag::Jmp,
+            16 => Tag::Push,
+            17 => Tag::Call,
+            18 => Tag::Ret,
+            19 => Tag::Nop,
+            _ => return None,
+        })
     }
 }
 
@@ -161,8 +158,8 @@ fn ppc_opcode(tag: Tag) -> u8 {
 
 fn ppc_tag(opcode: u8) -> Option<Tag> {
     (0..TAG_COUNT)
-        .find(|t| ppc_opcode(Tag::from_u8(*t).unwrap()) == opcode)
-        .and_then(Tag::from_u8)
+        .filter_map(Tag::from_u8)
+        .find(|t| ppc_opcode(*t) == opcode)
 }
 
 fn mem_kind(m: Mem) -> (u8, u32) {

@@ -149,6 +149,11 @@ impl Binary {
     /// Returns `InvalidData` for malformed input and propagates reader
     /// errors.
     pub fn load<R: Read>(mut r: R) -> io::Result<Binary> {
+        // Length prefixes are attacker-controlled: cap initial
+        // capacities and grow buffers from bytes actually read, so a
+        // lying prefix fails with `Truncated`-style `UnexpectedEof`
+        // instead of a huge up-front allocation.
+        const MAX_PREALLOC: usize = 1 << 16;
         fn bad(msg: &str) -> io::Error {
             io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
         }
@@ -167,13 +172,23 @@ impl Binary {
             r.read_exact(&mut b)?;
             Ok(u64::from_le_bytes(b))
         }
+        fn get_bytes<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u8>> {
+            let mut buf = Vec::with_capacity(n.min(MAX_PREALLOC));
+            let got = r.take(n as u64).read_to_end(&mut buf)?;
+            if got != n {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended after {got} of {n} declared bytes"),
+                ));
+            }
+            Ok(buf)
+        }
         fn get_str<R: Read>(r: &mut R) -> io::Result<String> {
             let n = get_u32(r)? as usize;
             if n > 1 << 24 {
                 return Err(bad("unreasonable string length"));
             }
-            let mut buf = vec![0u8; n];
-            r.read_exact(&mut buf)?;
+            let buf = get_bytes(r, n)?;
             String::from_utf8(buf).map_err(|_| bad("string not utf-8"))
         }
         let mut magic = [0u8; 4];
@@ -189,7 +204,7 @@ impl Binary {
             _ => return Err(bad("unknown architecture")),
         };
         let nsyms = get_u32(&mut r)? as usize;
-        let mut symbols = Vec::with_capacity(nsyms);
+        let mut symbols = Vec::with_capacity(nsyms.min(MAX_PREALLOC));
         for _ in 0..nsyms {
             let name = match get_u8(&mut r)? {
                 1 => Some(get_str(&mut r)?),
@@ -208,8 +223,7 @@ impl Binary {
             if code_len > 1 << 28 {
                 return Err(bad("unreasonable code length"));
             }
-            let mut code = vec![0u8; code_len];
-            r.read_exact(&mut code)?;
+            let code = get_bytes(&mut r, code_len)?;
             symbols.push(Symbol {
                 name,
                 kind,
@@ -220,12 +234,12 @@ impl Binary {
             });
         }
         let nglobals = get_u32(&mut r)? as usize;
-        let mut globals = Vec::with_capacity(nglobals);
+        let mut globals = Vec::with_capacity(nglobals.min(MAX_PREALLOC));
         for _ in 0..nglobals {
             globals.push(get_u64(&mut r)? as i64);
         }
         let nstrings = get_u32(&mut r)? as usize;
-        let mut strings = Vec::with_capacity(nstrings);
+        let mut strings = Vec::with_capacity(nstrings.min(MAX_PREALLOC));
         for _ in 0..nstrings {
             strings.push(get_str(&mut r)?);
         }
@@ -303,6 +317,42 @@ mod tests {
     #[test]
     fn load_rejects_bad_magic() {
         assert!(Binary::load(&b"ELF!"[..]).is_err());
+    }
+
+    #[test]
+    fn load_rejects_lying_length_prefixes_without_huge_allocation() {
+        // Claim u32::MAX symbols with an empty body: must error quickly,
+        // not attempt a multi-gigabyte reservation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SBF1");
+        buf.push(2); // arch = ARM
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Binary::load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_code_length_beyond_stream() {
+        let b = sample();
+        let mut buf = Vec::new();
+        b.save(&mut buf).unwrap();
+        // Symbol 0's code length field sits 21 bytes past the start of
+        // its name: name(4) + kind(1) + params(4) + frame(4) + offset(8).
+        let name = buf.windows(4).position(|w| w == b"main").expect("name");
+        let pos = name + 21;
+        assert_eq!(&buf[pos..pos + 4], &4u32.to_le_bytes());
+        buf[pos..pos + 4].copy_from_slice(&(1u32 << 27).to_le_bytes());
+        let err = Binary::load(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn load_never_panics_on_truncations() {
+        let b = sample();
+        let mut buf = Vec::new();
+        b.save(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(Binary::load(&buf[..cut]).is_err(), "truncation at {cut}");
+        }
     }
 
     #[test]

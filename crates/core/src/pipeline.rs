@@ -1,8 +1,12 @@
 //! End-to-end extraction: binary → decompiled AST → digitalized,
 //! binarized tree + calibration features (Fig. 3 steps 1–2).
 
+use std::fmt;
+
 use asteria_compiler::Binary;
-use asteria_decompiler::{callee_count, decompile_function, DecompileError};
+use asteria_decompiler::{
+    callee_count, decompile_function_with, BudgetKind, DecompileError, DecompileLimits,
+};
 
 use crate::binarize::{binarize, BinTree};
 use crate::model::{calibrated_similarity, AsteriaModel};
@@ -40,7 +44,22 @@ pub fn extract_function(
     sym: usize,
     beta: usize,
 ) -> Result<ExtractedFunction, DecompileError> {
-    let df = decompile_function(binary, sym)?;
+    extract_function_with(binary, sym, beta, &DecompileLimits::default())
+}
+
+/// Extracts one function under an explicit decompilation budget.
+///
+/// # Errors
+///
+/// Propagates decompilation failures, including
+/// [`DecompileError::BudgetExceeded`].
+pub fn extract_function_with(
+    binary: &Binary,
+    sym: usize,
+    beta: usize,
+    limits: &DecompileLimits,
+) -> Result<ExtractedFunction, DecompileError> {
+    let df = decompile_function_with(binary, sym, limits)?;
     let tree = digitalize(&df);
     let ntree = binarize(&tree);
     Ok(ExtractedFunction {
@@ -57,7 +76,9 @@ pub fn extract_function(
 ///
 /// # Errors
 ///
-/// Fails on the first function that cannot be decompiled.
+/// Fails on the first function that cannot be decompiled. Corpus-scale
+/// callers should prefer [`extract_binary_resilient`], which degrades
+/// per function instead of aborting the whole binary.
 pub fn extract_binary(
     binary: &Binary,
     beta: usize,
@@ -67,6 +88,159 @@ pub fn extract_binary(
         .into_iter()
         .map(|i| extract_function(binary, i, beta))
         .collect()
+}
+
+/// The outcome of extracting one function during a resilient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionOutcome {
+    /// Symbol index within the binary.
+    pub sym: usize,
+    /// Display name from the symbol table (available even on failure).
+    pub name: String,
+    /// The extracted function, or why it was skipped.
+    pub result: Result<ExtractedFunction, DecompileError>,
+}
+
+/// Aggregate counts from a resilient extraction: how many functions were
+/// extracted and the taxonomy of every failure.
+///
+/// This is the ledger the paper's IDA-based pipeline never shows — Hex-Rays
+/// silently drops functions it cannot decompile; here every skip is
+/// accounted for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionReport {
+    /// Defined functions seen in the binary.
+    pub total: usize,
+    /// Successfully extracted.
+    pub extracted: usize,
+    /// Skipped for any reason (`total - extracted`).
+    pub skipped: usize,
+    /// Skipped because a [`DecompileLimits`] budget fired.
+    pub over_budget: usize,
+    /// Skipped because disassembly failed.
+    pub decode_errors: usize,
+    /// Skipped because the function body was empty.
+    pub empty_functions: usize,
+    /// Skipped for any other reason (bad symbol entries).
+    pub other_errors: usize,
+}
+
+impl ExtractionReport {
+    fn record(&mut self, err: &DecompileError) {
+        self.skipped += 1;
+        match err {
+            DecompileError::BudgetExceeded { .. } => self.over_budget += 1,
+            DecompileError::Decode(_) => self.decode_errors += 1,
+            DecompileError::EmptyFunction(_) => self.empty_functions += 1,
+            DecompileError::NotAFunction(_) => self.other_errors += 1,
+        }
+    }
+
+    /// Merges another report's counts into this one (corpus totals).
+    pub fn absorb(&mut self, other: &ExtractionReport) {
+        self.total += other.total;
+        self.extracted += other.extracted;
+        self.skipped += other.skipped;
+        self.over_budget += other.over_budget;
+        self.decode_errors += other.decode_errors;
+        self.empty_functions += other.empty_functions;
+        self.other_errors += other.other_errors;
+    }
+}
+
+impl fmt::Display for ExtractionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} functions: {} extracted, {} skipped",
+            self.total, self.extracted, self.skipped
+        )?;
+        if self.skipped > 0 {
+            write!(
+                f,
+                " ({} over budget, {} decode errors, {} empty, {} other)",
+                self.over_budget, self.decode_errors, self.empty_functions, self.other_errors
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a resilient whole-binary extraction: every per-function
+/// outcome plus the aggregate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientExtraction {
+    /// One outcome per defined function, in symbol order.
+    pub outcomes: Vec<FunctionOutcome>,
+    /// Aggregate counts and failure taxonomy.
+    pub report: ExtractionReport,
+}
+
+impl ResilientExtraction {
+    /// The successfully extracted functions.
+    pub fn successes(&self) -> impl Iterator<Item = &ExtractedFunction> {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().ok())
+    }
+
+    /// The skipped functions with their errors.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &DecompileError)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err().map(|e| (o.name.as_str(), e)))
+    }
+
+    /// Consumes the run, keeping only the extracted functions.
+    pub fn into_functions(self) -> Vec<ExtractedFunction> {
+        self.outcomes
+            .into_iter()
+            .filter_map(|o| o.result.ok())
+            .collect()
+    }
+
+    /// How many skips were due to a specific budget kind.
+    pub fn budget_skips(&self, kind: BudgetKind) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    &o.result,
+                    Err(DecompileError::BudgetExceeded { kind: k, .. }) if *k == kind
+                )
+            })
+            .count()
+    }
+}
+
+/// Extracts every defined function of a binary, degrading per function:
+/// a function that fails to decompile is recorded as a skip instead of
+/// aborting the binary. Never fails at the binary level.
+pub fn extract_binary_resilient(binary: &Binary, beta: usize) -> ResilientExtraction {
+    extract_binary_resilient_with(binary, beta, &DecompileLimits::default())
+}
+
+/// [`extract_binary_resilient`] with an explicit decompilation budget.
+pub fn extract_binary_resilient_with(
+    binary: &Binary,
+    beta: usize,
+    limits: &DecompileLimits,
+) -> ResilientExtraction {
+    let mut outcomes = Vec::new();
+    let mut report = ExtractionReport::default();
+    for sym in binary.function_indices() {
+        let name = binary
+            .symbols
+            .get(sym)
+            .map(|s| s.display_name())
+            .unwrap_or_else(|| format!("sym_{sym}"));
+        let result = extract_function_with(binary, sym, beta, limits);
+        report.total += 1;
+        match &result {
+            Ok(_) => report.extracted += 1,
+            Err(e) => report.record(e),
+        }
+        outcomes.push(FunctionOutcome { sym, name, result });
+    }
+    ResilientExtraction { outcomes, report }
 }
 
 /// A cached function encoding: the offline product the paper stores for
@@ -159,6 +333,67 @@ mod tests {
             })
             .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn resilient_extraction_matches_strict_on_clean_binaries() {
+        let p = parse(SRC).unwrap();
+        for arch in Arch::ALL {
+            let b = compile_program(&p, arch).unwrap();
+            let strict = extract_binary(&b, DEFAULT_INLINE_BETA).unwrap();
+            let resilient = extract_binary_resilient(&b, DEFAULT_INLINE_BETA);
+            assert_eq!(resilient.report.total, 2, "{arch}");
+            assert_eq!(resilient.report.extracted, 2, "{arch}");
+            assert_eq!(resilient.report.skipped, 0, "{arch}");
+            assert_eq!(resilient.into_functions(), strict, "{arch}");
+        }
+    }
+
+    #[test]
+    fn resilient_extraction_skips_bad_functions_and_keeps_good_ones() {
+        let p = parse(SRC).unwrap();
+        let mut b = compile_program(&p, Arch::Arm).unwrap();
+        // Corrupt one function's code so it cannot decode.
+        let idx = b.symbol_index("helper").unwrap();
+        b.symbols[idx].code = vec![0xff; 7];
+        let run = extract_binary_resilient(&b, DEFAULT_INLINE_BETA);
+        assert_eq!(run.report.total, 2);
+        assert_eq!(run.report.extracted, 1);
+        assert_eq!(run.report.skipped, 1);
+        assert_eq!(run.report.decode_errors, 1);
+        let (name, err) = run.failures().next().unwrap();
+        assert_eq!(name, "helper");
+        assert!(matches!(err, DecompileError::Decode(_)), "{err:?}");
+        assert_eq!(run.successes().count(), 1);
+    }
+
+    #[test]
+    fn resilient_extraction_reports_budget_skips() {
+        let p = parse(SRC).unwrap();
+        let b = compile_program(&p, Arch::Arm).unwrap();
+        let limits = DecompileLimits {
+            max_instructions: 1,
+            ..DecompileLimits::default()
+        };
+        let run = extract_binary_resilient_with(&b, DEFAULT_INLINE_BETA, &limits);
+        assert_eq!(run.report.over_budget, 2);
+        assert_eq!(run.budget_skips(BudgetKind::Instructions), 2);
+        assert_eq!(run.budget_skips(BudgetKind::AstNodes), 0);
+        let rendered = run.report.to_string();
+        assert!(rendered.contains("2 skipped"), "{rendered}");
+        assert!(rendered.contains("2 over budget"), "{rendered}");
+    }
+
+    #[test]
+    fn corpus_reports_absorb() {
+        let p = parse(SRC).unwrap();
+        let b = compile_program(&p, Arch::X64).unwrap();
+        let a = extract_binary_resilient(&b, DEFAULT_INLINE_BETA).report;
+        let mut total = ExtractionReport::default();
+        total.absorb(&a);
+        total.absorb(&a);
+        assert_eq!(total.total, 2 * a.total);
+        assert_eq!(total.extracted, 2 * a.extracted);
     }
 
     #[test]

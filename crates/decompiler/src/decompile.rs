@@ -7,24 +7,45 @@ use asteria_compiler::{decode_function, Arch, Binary, DecodeError, SymbolKind};
 
 use crate::ast::{DExpr, DFunction, DStmt};
 use crate::cfg::build_cfg;
-use crate::lift::{lift_blocks, optimize_lifted_with, propagate_params};
+use crate::lift::{lift_blocks_limited, optimize_lifted_with, propagate_params};
+use crate::limits::{BudgetKind, DecompileLimits};
 use crate::postproc::{recover_compound_assign, recover_idioms, recover_switch};
-use crate::structure::structure;
+use crate::structure::structure_limited;
 
 /// Errors produced while decompiling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecompileError {
     /// Symbol index out of range or not a defined function.
     NotAFunction(usize),
+    /// Function has no instructions (an empty or fully truncated code
+    /// section) — there is nothing to build a CFG from.
+    EmptyFunction(usize),
     /// Disassembly failed.
     Decode(DecodeError),
+    /// A [`DecompileLimits`] budget was exceeded; the function is corrupt
+    /// or adversarially large and was abandoned rather than allowed to
+    /// hang or exhaust memory.
+    BudgetExceeded {
+        /// Which budget fired.
+        kind: BudgetKind,
+        /// The configured limit.
+        limit: usize,
+        /// The observed value that crossed it.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for DecompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecompileError::NotAFunction(i) => write!(f, "symbol {i} is not a function"),
+            DecompileError::EmptyFunction(i) => write!(f, "symbol {i} has an empty body"),
             DecompileError::Decode(e) => write!(f, "disassembly failed: {e}"),
+            DecompileError::BudgetExceeded {
+                kind,
+                limit,
+                actual,
+            } => write!(f, "budget exceeded: {actual} {kind} > limit {limit}"),
         }
     }
 }
@@ -119,14 +140,56 @@ fn collect_callees(stmts: &[DStmt], out: &mut Vec<u32>) {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn decompile_function(binary: &Binary, sym: usize) -> Result<DFunction, DecompileError> {
+    decompile_function_with(binary, sym, &DecompileLimits::default())
+}
+
+/// Decompiles one function of a binary under an explicit resource budget.
+///
+/// Every pipeline stage is bounded: decoded instruction count, CFG block
+/// count, AST nodes materialized during lifting, and structuring
+/// iterations. Corrupt or adversarial code that would otherwise hang the
+/// structurer or blow up symbolic evaluation exponentially instead fails
+/// fast with [`DecompileError::BudgetExceeded`].
+///
+/// # Errors
+///
+/// See [`DecompileError`].
+pub fn decompile_function_with(
+    binary: &Binary,
+    sym: usize,
+    limits: &DecompileLimits,
+) -> Result<DFunction, DecompileError> {
     let symbol = binary
         .symbols
         .get(sym)
         .filter(|s| s.kind == SymbolKind::Function)
         .ok_or(DecompileError::NotAFunction(sym))?;
     let insts = decode_function(&symbol.code, binary.arch)?;
+    if insts.is_empty() {
+        return Err(DecompileError::EmptyFunction(sym));
+    }
+    if insts.len() > limits.max_instructions {
+        return Err(DecompileError::BudgetExceeded {
+            kind: BudgetKind::Instructions,
+            limit: limits.max_instructions,
+            actual: insts.len(),
+        });
+    }
     let cfg = build_cfg(&insts);
-    let mut blocks = lift_blocks(&insts, &cfg, binary.arch, symbol.param_count);
+    if cfg.blocks.len() > limits.max_basic_blocks {
+        return Err(DecompileError::BudgetExceeded {
+            kind: BudgetKind::BasicBlocks,
+            limit: limits.max_basic_blocks,
+            actual: cfg.blocks.len(),
+        });
+    }
+    let mut blocks = lift_blocks_limited(
+        &insts,
+        &cfg,
+        binary.arch,
+        symbol.param_count,
+        limits.max_ast_nodes,
+    )?;
     // Lifter artifact: 32-bit x86 output keeps compound temporaries
     // (register pressure), other ISAs re-nest expressions fully.
     optimize_lifted_with(&mut blocks, binary.arch != Arch::X86);
@@ -137,7 +200,7 @@ pub fn decompile_function(binary: &Binary, sym: usize) -> Result<DFunction, Deco
     if binary.arch != Arch::X86 {
         propagate_params(&mut blocks);
     }
-    let mut body = structure(&cfg, &blocks);
+    let mut body = structure_limited(&cfg, &blocks, limits.max_structure_iters)?;
     // PPC's negate expansion (`0 - x`) is left as-is — decompilers do not
     // re-idiomize it — while the remainder expansion is recovered.
     recover_idioms(&mut body);
@@ -164,10 +227,24 @@ pub fn decompile_function(binary: &Binary, sym: usize) -> Result<DFunction, Deco
 ///
 /// Fails on the first function that cannot be decompiled.
 pub fn decompile_binary(binary: &Binary) -> Result<Vec<DFunction>, DecompileError> {
+    decompile_binary_with(binary, &DecompileLimits::default())
+}
+
+/// Decompiles every defined function under an explicit resource budget.
+///
+/// # Errors
+///
+/// Fails on the first function that cannot be decompiled; corpus drivers
+/// that want per-function degradation should use
+/// `asteria_core::extract_binary_resilient` instead.
+pub fn decompile_binary_with(
+    binary: &Binary,
+    limits: &DecompileLimits,
+) -> Result<Vec<DFunction>, DecompileError> {
     binary
         .function_indices()
         .into_iter()
-        .map(|i| decompile_function(binary, i))
+        .map(|i| decompile_function_with(binary, i, limits))
         .collect()
 }
 
@@ -261,6 +338,147 @@ mod tests {
         assert!(matches!(
             decompile_function(&b, ext),
             Err(DecompileError::NotAFunction(_))
+        ));
+    }
+
+    #[test]
+    fn instruction_budget_fires() {
+        let p = parse(SRC).unwrap();
+        let b = compile_program(&p, Arch::Arm).unwrap();
+        let limits = DecompileLimits {
+            max_instructions: 1,
+            ..DecompileLimits::default()
+        };
+        let err = decompile_function_with(&b, b.symbol_index("big").unwrap(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecompileError::BudgetExceeded {
+                    kind: BudgetKind::Instructions,
+                    limit: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn basic_block_budget_fires() {
+        let p = parse(SRC).unwrap();
+        let b = compile_program(&p, Arch::Arm).unwrap();
+        let limits = DecompileLimits {
+            max_basic_blocks: 1,
+            ..DecompileLimits::default()
+        };
+        let err = decompile_function_with(&b, b.symbol_index("big").unwrap(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecompileError::BudgetExceeded {
+                    kind: BudgetKind::BasicBlocks,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn ast_node_budget_fires() {
+        let p = parse(SRC).unwrap();
+        let b = compile_program(&p, Arch::Arm).unwrap();
+        let limits = DecompileLimits {
+            max_ast_nodes: 2,
+            ..DecompileLimits::default()
+        };
+        let err = decompile_function_with(&b, b.symbol_index("big").unwrap(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecompileError::BudgetExceeded {
+                    kind: BudgetKind::AstNodes,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn structure_iteration_budget_fires() {
+        let p = parse(SRC).unwrap();
+        let b = compile_program(&p, Arch::Arm).unwrap();
+        let limits = DecompileLimits {
+            max_structure_iters: 1,
+            ..DecompileLimits::default()
+        };
+        let err = decompile_function_with(&b, b.symbol_index("big").unwrap(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecompileError::BudgetExceeded {
+                    kind: BudgetKind::StructureIters,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn exponential_register_growth_is_cut_off() {
+        // `add r0, r0` doubles r0's symbolic expression every step: 64 of
+        // them would materialize a 2^64-node tree. The lifter must refuse
+        // quickly (and cheaply) instead of eating all memory.
+        use crate::cfg::build_cfg;
+        use crate::lift::lift_blocks_limited;
+        use asteria_compiler::{AluOp, MInst, Reg};
+
+        let mut insts = vec![MInst::MovImm(Reg(0), 1)];
+        insts.extend(std::iter::repeat_n(
+            MInst::Alu2(AluOp::Add, Reg(0), Reg(0)),
+            64,
+        ));
+        insts.push(MInst::Ret);
+        let cfg = build_cfg(&insts);
+        let err = lift_blocks_limited(&insts, &cfg, Arch::Arm, 0, 100_000).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecompileError::BudgetExceeded {
+                    kind: BudgetKind::AstNodes,
+                    limit: 100_000,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited_output() {
+        let p = parse(SRC).unwrap();
+        for arch in Arch::ALL {
+            let b = compile_program(&p, arch).unwrap();
+            for i in b.function_indices() {
+                let default = decompile_function(&b, i).unwrap();
+                let explicit =
+                    decompile_function_with(&b, i, &DecompileLimits::unbounded()).unwrap();
+                assert_eq!(default, explicit, "{arch}: function {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_function_is_typed_error() {
+        let p = parse(SRC).unwrap();
+        let mut b = compile_program(&p, Arch::Arm).unwrap();
+        let idx = b.symbol_index("tiny").unwrap();
+        b.symbols[idx].code.clear();
+        assert!(matches!(
+            decompile_function(&b, idx),
+            Err(DecompileError::EmptyFunction(_))
         ));
     }
 

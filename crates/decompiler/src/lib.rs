@@ -52,21 +52,30 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// This crate is the robustness-critical layer of the extraction pipeline:
+// it must degrade to typed errors on corrupt input, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ast;
 pub mod cfg;
 pub mod decompile;
 pub mod display;
 pub mod lift;
+pub mod limits;
 pub mod postproc;
 pub mod structure;
 
 pub use ast::{DAssignOp, DExpr, DFunction, DPlace, DStmt, DSwitchCase, VarRef};
 pub use cfg::{build_cfg, Cfg, CfgBlock, TermKind};
 pub use decompile::{
-    callee_count, decompile_binary, decompile_function, function_inst_count, DecompileError,
+    callee_count, decompile_binary, decompile_binary_with, decompile_function,
+    decompile_function_with, function_inst_count, DecompileError,
 };
 pub use display::render_function;
-pub use lift::{lift_blocks, optimize_lifted, optimize_lifted_with, propagate_params, LiftedBlock};
+pub use lift::{
+    lift_blocks, lift_blocks_limited, optimize_lifted, optimize_lifted_with, propagate_params,
+    LiftedBlock,
+};
+pub use limits::{BudgetKind, DecompileLimits};
 pub use postproc::{recover_compound_assign, recover_idioms, recover_switch};
-pub use structure::structure;
+pub use structure::{structure, structure_limited};

@@ -15,6 +15,8 @@ use asteria_lang::{BinOp, UnOp};
 
 use crate::ast::{DAssignOp, DExpr, DPlace, DStmt, VarRef};
 use crate::cfg::{Cfg, TermKind};
+use crate::decompile::DecompileError;
+use crate::limits::BudgetKind;
 
 /// A lifted basic block: straight-line statements plus terminator data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,12 +55,61 @@ fn cmp_binop(op: CmpOp) -> BinOp {
     }
 }
 
+/// Running count of AST nodes materialized while lifting one function.
+///
+/// Symbolic evaluation can blow up exponentially — an instruction like
+/// `add r0, r0` doubles the expression held in `r0`, so forty of them in a
+/// row would try to materialize a 2⁴⁰-node tree. The budget is charged
+/// *before* each expression is constructed, using O(1) per-register size
+/// bookkeeping, so the lifter errors out without ever allocating the
+/// oversized tree.
+struct NodeBudget {
+    max: usize,
+    total: usize,
+}
+
+impl NodeBudget {
+    fn charge(&mut self, nodes: usize) -> Result<(), DecompileError> {
+        self.total = self.total.saturating_add(nodes);
+        if self.total > self.max {
+            return Err(DecompileError::BudgetExceeded {
+                kind: BudgetKind::AstNodes,
+                limit: self.max,
+                actual: self.total,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Lifts every block of a function.
 ///
 /// `arch` drives the calling-convention model used to recover call
 /// arguments; `param_count` (from the symbol table) names incoming
 /// parameters `a0, a1, …`.
 pub fn lift_blocks(insts: &[MInst], cfg: &Cfg, arch: Arch, param_count: u32) -> Vec<LiftedBlock> {
+    // Infallible with an unlimited budget.
+    lift_blocks_limited(insts, cfg, arch, param_count, usize::MAX).unwrap_or_default()
+}
+
+/// Lifts every block of a function under an AST-node budget.
+///
+/// # Errors
+///
+/// Returns [`DecompileError::BudgetExceeded`] with
+/// [`BudgetKind::AstNodes`](crate::BudgetKind::AstNodes) as soon as the
+/// total number of materialized AST nodes would exceed `max_ast_nodes`.
+pub fn lift_blocks_limited(
+    insts: &[MInst],
+    cfg: &Cfg,
+    arch: Arch,
+    param_count: u32,
+    max_ast_nodes: usize,
+) -> Result<Vec<LiftedBlock>, DecompileError> {
+    let mut budget = NodeBudget {
+        max: max_ast_nodes,
+        total: 0,
+    };
     cfg.blocks
         .iter()
         .map(|b| {
@@ -67,32 +118,46 @@ pub fn lift_blocks(insts: &[MInst], cfg: &Cfg, arch: Arch, param_count: u32) -> 
                 b.term,
                 arch,
                 param_count,
+                &mut budget,
             )
         })
         .collect()
 }
 
-fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> LiftedBlock {
+fn lift_block(
+    insts: &[MInst],
+    term: TermKind,
+    arch: Arch,
+    param_count: u32,
+    budget: &mut NodeBudget,
+) -> Result<LiftedBlock, DecompileError> {
     let arg_regs = arch.arg_regs();
     let mut regs: HashMap<u8, DExpr> = HashMap::new();
+    // Size of the expression each register holds, maintained alongside
+    // `regs` so budget checks never have to walk (or build) a tree.
+    let mut sizes: HashMap<u8, usize> = HashMap::new();
     // Entry blocks read parameters out of argument registers; model every
     // block that way (non-entry blocks never read stale arg regs because
     // the code generator reloads explicitly).
     for (i, r) in arg_regs.iter().enumerate() {
         if (i as u32) < param_count {
             regs.insert(r.0, DExpr::Var(VarRef::Param(i as u32)));
+            sizes.insert(r.0, 1);
         }
     }
     let reg_arg_count = arg_regs.len() as u32;
 
     let mut stmts: Vec<DStmt> = Vec::new();
     let mut pending: Vec<DExpr> = Vec::new();
+    let mut pending_sizes: Vec<usize> = Vec::new();
     let mut cond = None;
     let mut ret = None;
 
     let read_reg = |regs: &HashMap<u8, DExpr>, r: u8| -> DExpr {
         regs.get(&r).cloned().unwrap_or(DExpr::Num(0))
     };
+    // A register never written holds the `Num(0)` placeholder: size 1.
+    let reg_size = |sizes: &HashMap<u8, usize>, r: u8| -> usize { sizes.get(&r).copied().unwrap_or(1) };
     let read_mem = |m: &Mem| -> DExpr {
         match m {
             Mem::Frame(s) => DExpr::Var(VarRef::Local(*s)),
@@ -104,19 +169,29 @@ fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> 
     for inst in insts {
         match inst {
             MInst::MovImm(rd, v) => {
+                budget.charge(1)?;
                 regs.insert(rd.0, DExpr::Num(*v));
+                sizes.insert(rd.0, 1);
             }
             MInst::Mov(rd, rs) => {
+                let n = reg_size(&sizes, rs.0);
+                budget.charge(n)?;
                 let e = read_reg(&regs, rs.0);
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
             MInst::LoadStr(rd, sid) => {
+                budget.charge(1)?;
                 regs.insert(rd.0, DExpr::Str(*sid));
+                sizes.insert(rd.0, 1);
             }
             MInst::Load(rd, m) => {
+                budget.charge(1)?;
                 regs.insert(rd.0, read_mem(m));
+                sizes.insert(rd.0, 1);
             }
             MInst::Store(m, rs) => {
+                budget.charge(reg_size(&sizes, rs.0).saturating_add(2))?;
                 let value = read_reg(&regs, rs.0);
                 match m {
                     Mem::Frame(s) => {
@@ -142,8 +217,11 @@ fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> 
                 idx,
                 len: _,
             } => {
+                let n = reg_size(&sizes, idx.0).saturating_add(2);
+                budget.charge(n)?;
                 let i = read_reg(&regs, idx.0);
                 regs.insert(rd.0, DExpr::Index(*base, Box::new(i)));
+                sizes.insert(rd.0, n);
             }
             MInst::StoreIdx {
                 rs,
@@ -151,6 +229,11 @@ fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> 
                 idx,
                 len: _,
             } => {
+                budget.charge(
+                    reg_size(&sizes, idx.0)
+                        .saturating_add(reg_size(&sizes, rs.0))
+                        .saturating_add(3),
+                )?;
                 let i = read_reg(&regs, idx.0);
                 let v = read_reg(&regs, rs.0);
                 stmts.push(DStmt::Assign(
@@ -160,18 +243,33 @@ fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> 
                 ));
             }
             MInst::Alu3(op, rd, ra, rb) => {
+                let n = reg_size(&sizes, ra.0)
+                    .saturating_add(reg_size(&sizes, rb.0))
+                    .saturating_add(1);
+                budget.charge(n)?;
                 let e = DExpr::bin(alu_binop(*op), read_reg(&regs, ra.0), read_reg(&regs, rb.0));
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
             MInst::Alu2(op, rd, rs) => {
+                let n = reg_size(&sizes, rd.0)
+                    .saturating_add(reg_size(&sizes, rs.0))
+                    .saturating_add(1);
+                budget.charge(n)?;
                 let e = DExpr::bin(alu_binop(*op), read_reg(&regs, rd.0), read_reg(&regs, rs.0));
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
             MInst::Alu2Mem(op, rd, m) => {
+                let n = reg_size(&sizes, rd.0).saturating_add(2);
+                budget.charge(n)?;
                 let e = DExpr::bin(alu_binop(*op), read_reg(&regs, rd.0), read_mem(m));
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
             MInst::UnAlu(op, rd, rs) => {
+                let n = reg_size(&sizes, rs.0).saturating_add(1);
+                budget.charge(n)?;
                 let inner = read_reg(&regs, rs.0);
                 let e = match op {
                     UnAluOp::Neg => DExpr::Un(UnOp::Neg, Box::new(inner)),
@@ -179,47 +277,85 @@ fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> 
                     UnAluOp::BitNot => DExpr::Un(UnOp::BitNot, Box::new(inner)),
                 };
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
             MInst::SetCc(cc, rd, ra, rb) => {
+                let n = reg_size(&sizes, ra.0)
+                    .saturating_add(reg_size(&sizes, rb.0))
+                    .saturating_add(1);
+                budget.charge(n)?;
                 let e = DExpr::bin(cmp_binop(*cc), read_reg(&regs, ra.0), read_reg(&regs, rb.0));
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
             MInst::CSel { rd, rc, ra, rb } => {
+                let n = reg_size(&sizes, rc.0)
+                    .saturating_add(reg_size(&sizes, ra.0))
+                    .saturating_add(reg_size(&sizes, rb.0))
+                    .saturating_add(1);
+                budget.charge(n)?;
                 let e = DExpr::Select(
                     Box::new(read_reg(&regs, rc.0)),
                     Box::new(read_reg(&regs, ra.0)),
                     Box::new(read_reg(&regs, rb.0)),
                 );
                 regs.insert(rd.0, e);
+                sizes.insert(rd.0, n);
             }
-            MInst::Push(r) => pending.push(read_reg(&regs, r.0)),
+            MInst::Push(r) => {
+                let n = reg_size(&sizes, r.0);
+                budget.charge(n)?;
+                pending.push(read_reg(&regs, r.0));
+                pending_sizes.push(n);
+            }
             MInst::Call { sym, argc } => {
                 let argc = *argc as usize;
-                let mut args = Vec::with_capacity(argc);
+                let mut args = Vec::with_capacity(argc.min(insts.len()));
+                let mut n: usize = 1;
                 if arg_regs.is_empty() {
-                    let take = pending.split_off(pending.len().saturating_sub(argc));
+                    let cut = pending.len().saturating_sub(argc);
+                    let take = pending.split_off(cut);
+                    n = pending_sizes
+                        .split_off(cut)
+                        .into_iter()
+                        .fold(n, usize::saturating_add);
                     args.extend(take.into_iter().rev());
                 } else {
                     let in_regs = argc.min(arg_regs.len());
                     for r in &arg_regs[..in_regs] {
+                        n = n.saturating_add(reg_size(&sizes, r.0));
+                    }
+                    budget.charge(n)?;
+                    for r in &arg_regs[..in_regs] {
                         args.push(read_reg(&regs, r.0));
                     }
-                    let take = pending.split_off(pending.len().saturating_sub(argc - in_regs));
+                    let cut = pending.len().saturating_sub(argc - in_regs);
+                    let take = pending.split_off(cut);
+                    n = pending_sizes
+                        .split_off(cut)
+                        .into_iter()
+                        .fold(n, usize::saturating_add);
                     args.extend(take);
                 }
                 // Lifter artifact: the x64 ABI zero/sign-extends register
                 // arguments, which surfaces as integer casts in decompiled
                 // output (cf. Hex-Rays on x86-64).
                 if arch == Arch::X64 {
+                    n = n.saturating_add(args.len());
+                    budget.charge(args.len())?;
                     args = args.into_iter().map(|a| DExpr::Cast(Box::new(a))).collect();
                 }
+                budget.charge(1)?;
                 regs.insert(0, DExpr::Call { sym: *sym, args });
+                sizes.insert(0, n);
             }
             MInst::Brnz(rc, _) => {
+                budget.charge(reg_size(&sizes, rc.0))?;
                 cond = Some(read_reg(&regs, rc.0));
             }
             MInst::Jmp(_) | MInst::Nop => {}
             MInst::Ret => {
+                budget.charge(reg_size(&sizes, 0))?;
                 ret = Some(read_reg(&regs, 0));
             }
         }
@@ -227,7 +363,7 @@ fn lift_block(insts: &[MInst], term: TermKind, arch: Arch, param_count: u32) -> 
     if term == TermKind::Ret && ret.is_none() {
         ret = Some(DExpr::Num(0));
     }
-    LiftedBlock { stmts, cond, ret }
+    Ok(LiftedBlock { stmts, cond, ret })
 }
 
 // ---------------------------------------------------------------------------

@@ -12,7 +12,9 @@ use asteria_lang::UnOp;
 
 use crate::ast::{DExpr, DStmt};
 use crate::cfg::{back_edges, dominators, natural_loop, postdominators, Cfg, TermKind};
+use crate::decompile::DecompileError;
 use crate::lift::LiftedBlock;
+use crate::limits::BudgetKind;
 
 struct LoopEnv {
     exit: Option<usize>,
@@ -28,10 +30,19 @@ struct Structurer<'a> {
     /// headers currently being emitted (guards re-entry)
     active: BTreeSet<usize>,
     budget: usize,
+    /// Region-walk iterations so far, checked against `max_iters`.
+    iters: usize,
+    max_iters: usize,
+    /// Set when `max_iters` was hit; the walk then drains via `goto` and
+    /// the caller turns the partial result into a typed error.
+    exceeded: bool,
 }
 
-/// Structures a lifted function body into statements.
-pub fn structure(cfg: &Cfg, lifted: &[LiftedBlock]) -> Vec<DStmt> {
+fn run_structurer(
+    cfg: &Cfg,
+    lifted: &[LiftedBlock],
+    max_iters: usize,
+) -> (Vec<DStmt>, usize, bool) {
     let idom = dominators(cfg);
     let mut loops: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (latch, header) in back_edges(cfg, &idom) {
@@ -44,10 +55,47 @@ pub fn structure(cfg: &Cfg, lifted: &[LiftedBlock]) -> Vec<DStmt> {
         loops,
         active: BTreeSet::new(),
         budget: cfg.blocks.len() * 8 + 64,
+        iters: 0,
+        max_iters,
+        exceeded: false,
     };
     let mut out = Vec::new();
     s.region(Some(0), None, None, &mut out);
-    out
+    (out, s.iters, s.exceeded)
+}
+
+/// Structures a lifted function body into statements.
+pub fn structure(cfg: &Cfg, lifted: &[LiftedBlock]) -> Vec<DStmt> {
+    run_structurer(cfg, lifted, usize::MAX).0
+}
+
+/// Structures a lifted function body under an iteration budget.
+///
+/// The structurer already degrades pathological regions to `goto`, so it
+/// always terminates; this variant additionally bounds the total number of
+/// region-walk iterations and reports a typed error when the bound is hit,
+/// letting corpus drivers distinguish "structured with gotos" from
+/// "adversarially large".
+///
+/// # Errors
+///
+/// Returns [`DecompileError::BudgetExceeded`] with
+/// [`BudgetKind::StructureIters`](crate::BudgetKind::StructureIters) when
+/// the walk exceeds `max_structure_iters` iterations.
+pub fn structure_limited(
+    cfg: &Cfg,
+    lifted: &[LiftedBlock],
+    max_structure_iters: usize,
+) -> Result<Vec<DStmt>, DecompileError> {
+    let (out, iters, exceeded) = run_structurer(cfg, lifted, max_structure_iters);
+    if exceeded {
+        return Err(DecompileError::BudgetExceeded {
+            kind: BudgetKind::StructureIters,
+            limit: max_structure_iters,
+            actual: iters,
+        });
+    }
+    Ok(out)
 }
 
 fn negate(e: DExpr) -> DExpr {
@@ -86,6 +134,13 @@ impl<'a> Structurer<'a> {
                 return;
             }
             first = false;
+            self.iters += 1;
+            if self.iters > self.max_iters {
+                // Drain the rest of the walk through the goto fallback;
+                // `structure_limited` reports the overrun as an error.
+                self.exceeded = true;
+                self.budget = 0;
+            }
             if self.budget == 0 {
                 out.push(DStmt::Goto(node as u32));
                 return;

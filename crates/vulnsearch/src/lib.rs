@@ -24,7 +24,7 @@ pub mod search;
 
 pub use firmware::{build_firmware_corpus, FirmwareConfig, FirmwareImage, PlantedFunction};
 pub use library::{vulnerability_library, CveEntry};
-pub use report::{render_report, render_summary_lines};
+pub use report::{render_report, render_report_with_extraction, render_summary_lines};
 pub use search::{
     build_search_index, encode_query, run_search, search, top_k_accuracy, CveSearchResult,
     IndexedFunction, SearchHit, SearchIndex,

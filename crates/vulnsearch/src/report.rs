@@ -3,6 +3,8 @@
 
 use std::fmt::Write;
 
+use asteria_core::ExtractionReport;
+
 use crate::search::CveSearchResult;
 
 /// Renders Table IV-style markdown from per-CVE search results.
@@ -60,6 +62,39 @@ pub fn render_report(results: &[CveSearchResult], threshold: f64) -> String {
         out,
         "confirmed {total_confirmed} of {total_planted} planted vulnerable functions"
     );
+    out
+}
+
+/// Renders the full report including the corpus extraction outcome: the
+/// Table IV body plus a coverage section stating how many firmware
+/// functions were skipped during offline encoding (and why).
+///
+/// # Examples
+///
+/// ```
+/// use asteria_core::ExtractionReport;
+/// use asteria_vulnsearch::render_report_with_extraction;
+///
+/// let extraction = ExtractionReport {
+///     total: 10,
+///     extracted: 9,
+///     skipped: 1,
+///     decode_errors: 1,
+///     ..Default::default()
+/// };
+/// let md = render_report_with_extraction(&[], 0.5, &extraction);
+/// assert!(md.contains("## Corpus coverage"));
+/// assert!(md.contains("1 skipped"));
+/// ```
+pub fn render_report_with_extraction(
+    results: &[CveSearchResult],
+    threshold: f64,
+    extraction: &ExtractionReport,
+) -> String {
+    let mut out = render_report(results, threshold);
+    out.push('\n');
+    out.push_str("## Corpus coverage\n\n");
+    let _ = writeln!(out, "{extraction}");
     out
 }
 

@@ -4,8 +4,8 @@
 
 use asteria_compiler::{compile_program, Arch};
 use asteria_core::{
-    encode_function, extract_binary, extract_function, function_similarity, AsteriaModel,
-    FunctionEncoding, DEFAULT_INLINE_BETA,
+    encode_function, extract_binary_resilient, extract_function, function_similarity, AsteriaModel,
+    ExtractionReport, FunctionEncoding, DEFAULT_INLINE_BETA,
 };
 use asteria_lang::parse;
 
@@ -33,6 +33,9 @@ pub struct IndexedFunction {
 pub struct SearchIndex {
     /// All indexed functions.
     pub functions: Vec<IndexedFunction>,
+    /// Aggregated extraction outcome across the whole corpus: how many
+    /// functions were encoded and how many were skipped (and why).
+    pub extraction: ExtractionReport,
 }
 
 impl SearchIndex {
@@ -49,16 +52,17 @@ impl SearchIndex {
 
 /// Encodes every function of every firmware binary (the offline phase).
 ///
-/// # Panics
-///
-/// Panics on extraction failures, which indicate decompiler bugs.
+/// Extraction is resilient: a corrupt or over-budget function is skipped
+/// and counted in [`SearchIndex::extraction`] instead of aborting the
+/// whole corpus — real firmware always contains functions the decompiler
+/// cannot digest.
 pub fn build_search_index(model: &AsteriaModel, firmware: &[FirmwareImage]) -> SearchIndex {
     let mut index = SearchIndex::default();
     for (ii, img) in firmware.iter().enumerate() {
         for (bi, binary) in img.binaries.iter().enumerate() {
-            let extracted =
-                extract_binary(binary, DEFAULT_INLINE_BETA).expect("firmware extraction");
-            for f in extracted {
+            let extraction = extract_binary_resilient(binary, DEFAULT_INLINE_BETA);
+            index.extraction.absorb(&extraction.report);
+            for f in extraction.successes() {
                 let ground_truth = img
                     .planted
                     .iter()
@@ -68,7 +72,7 @@ pub fn build_search_index(model: &AsteriaModel, firmware: &[FirmwareImage]) -> S
                     image: ii,
                     binary: bi,
                     name: f.name.clone(),
-                    encoding: encode_function(model, &f),
+                    encoding: encode_function(model, f),
                     ground_truth,
                 });
             }
@@ -282,6 +286,52 @@ mod tests {
             assert!(r.confirmed <= r.candidates);
             assert!(r.top10_hits <= 10);
         }
+    }
+
+    #[test]
+    fn index_reports_full_extraction_on_clean_corpus() {
+        let (_, firmware, index) = fixture();
+        let expected: usize = firmware.iter().map(|i| i.function_count()).sum();
+        assert_eq!(index.extraction.total, expected);
+        assert_eq!(index.extraction.skipped, 0);
+    }
+
+    #[test]
+    fn corrupted_corpus_completes_with_skips_reported() {
+        let model = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            ..Default::default()
+        });
+        let mut firmware = build_firmware_corpus(
+            &FirmwareConfig {
+                images: 3,
+                ..Default::default()
+            },
+            &vulnerability_library(),
+        );
+        // Corrupt one function per image: undecodable garbage bytes.
+        let mut corrupted = 0usize;
+        for img in &mut firmware {
+            if let Some(binary) = img.binaries.first_mut() {
+                if let Some(sym) = binary.symbols.first_mut() {
+                    sym.code = vec![0xff; 7];
+                    corrupted += 1;
+                }
+            }
+        }
+        assert!(corrupted > 0);
+        let index = build_search_index(&model, &firmware);
+        assert_eq!(index.extraction.skipped, corrupted);
+        assert!(index.extraction.decode_errors >= corrupted);
+        assert!(!index.is_empty());
+        // The whole search pipeline still runs end to end.
+        let lib = vulnerability_library();
+        let results = run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86);
+        assert_eq!(results.len(), lib.len());
+        let report = crate::report::render_report_with_extraction(&results, 0.5, &index.extraction);
+        assert!(report.contains("## Corpus coverage"));
+        assert!(report.contains(&format!("{corrupted} skipped")));
     }
 
     #[test]
