@@ -6,6 +6,7 @@
 //!
 //! | module | crate | role |
 //! |--------|-------|------|
+//! | [`exec`] | `asteria-exec` | deterministic scoped worker pool driving the parallel offline/online phases |
 //! | [`nn`] | `asteria-nn` | tensors, autograd, layers, optimizers (PyTorch substitute) |
 //! | [`lang`] | `asteria-lang` | MiniC frontend + reference interpreter |
 //! | [`compiler`] | `asteria-compiler` | four synthetic ISAs, SBF binaries, VM (gcc/buildroot substitute) |
@@ -48,6 +49,7 @@ pub use asteria_core as core;
 pub use asteria_datasets as datasets;
 pub use asteria_decompiler as decompiler;
 pub use asteria_eval as eval;
+pub use asteria_exec as exec;
 pub use asteria_lang as lang;
 pub use asteria_nn as nn;
 pub use asteria_vulnsearch as vulnsearch;

@@ -1,0 +1,166 @@
+//! Offline-phase throughput: serial vs parallel index build (the cost
+//! the paper's Fig. 10 shows dominating end-to-end time) plus the online
+//! ranking, with the bit-identity invariant checked on every run.
+//!
+//! Writes `BENCH_offline.json` to the working directory — the seed of the
+//! perf trajectory. Flags: `--scale smoke|mid|paper`, `--threads N`
+//! (default: all cores / `ASTERIA_THREADS`).
+
+use std::time::Instant;
+
+use asteria::compiler::Arch;
+use asteria::core::{AsteriaModel, ModelConfig};
+use asteria::exec::{resolve_threads, StageClock};
+use asteria::vulnsearch::{
+    build_firmware_corpus, build_search_index_threads, encode_query, search_threads,
+    vulnerability_library, FirmwareConfig, SearchIndex,
+};
+use asteria_bench::Scale;
+
+fn parse_threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--threads" {
+            if let Ok(n) = w[1].parse::<usize>() {
+                return n;
+            }
+        }
+    }
+    0
+}
+
+/// Strict bit-level equality of two indexes: order, names, ground truth,
+/// encoding bits, and extraction reports.
+fn indexes_identical(a: &SearchIndex, b: &SearchIndex) -> bool {
+    if a.extraction != b.extraction || a.functions.len() != b.functions.len() {
+        return false;
+    }
+    a.functions.iter().zip(&b.functions).all(|(x, y)| {
+        x.image == y.image
+            && x.binary == y.binary
+            && x.name == y.name
+            && x.ground_truth == y.ground_truth
+            && x.encoding.callee_count == y.encoding.callee_count
+            && x.encoding.vector.len() == y.encoding.vector.len()
+            && x.encoding
+                .vector
+                .iter()
+                .zip(&y.encoding.vector)
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+    })
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let threads = resolve_threads(parse_threads());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let library = vulnerability_library();
+    let images = match scale {
+        Scale::Smoke => 10,
+        Scale::Mid => 24,
+        Scale::Paper => 60,
+    };
+    let firmware = build_firmware_corpus(
+        &FirmwareConfig {
+            images,
+            ..Default::default()
+        },
+        &library,
+    );
+    let model = AsteriaModel::new(ModelConfig::default());
+    let total_functions: usize = firmware.iter().map(|i| i.function_count()).sum();
+    eprintln!(
+        "[bench_offline] {} images, {total_functions} functions, {cores} core(s), \
+         {threads} worker thread(s)",
+        firmware.len()
+    );
+
+    let clock = StageClock::new();
+
+    // Offline phase: serial reference, then parallel.
+    let t0 = Instant::now();
+    let serial_index = clock.time("offline-index(serial)", total_functions, 1, || {
+        build_search_index_threads(&model, &firmware, 1)
+    });
+    let serial_offline = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel_index = clock.time("offline-index(parallel)", total_functions, threads, || {
+        build_search_index_threads(&model, &firmware, threads)
+    });
+    let parallel_offline = t1.elapsed().as_secs_f64();
+
+    let identical = indexes_identical(&serial_index, &parallel_index);
+
+    // Online phase: rank the whole index against every CVE, serial vs
+    // parallel, and require identical rankings.
+    let queries: Vec<_> = library
+        .iter()
+        .map(|e| encode_query(&model, e, Arch::X86).expect("library query encodes"))
+        .collect();
+    let t2 = Instant::now();
+    let serial_hits: Vec<_> = queries
+        .iter()
+        .map(|q| search_threads(&model, &serial_index, q, 1))
+        .collect();
+    let serial_online = t2.elapsed().as_secs_f64();
+    clock.record(asteria::exec::StageStats {
+        stage: "online-search(serial)".into(),
+        items: serial_index.len() * queries.len(),
+        threads: 1,
+        seconds: serial_online,
+    });
+    let t3 = Instant::now();
+    let parallel_hits: Vec<_> = queries
+        .iter()
+        .map(|q| search_threads(&model, &parallel_index, q, threads))
+        .collect();
+    let parallel_online = t3.elapsed().as_secs_f64();
+    clock.record(asteria::exec::StageStats {
+        stage: "online-search(parallel)".into(),
+        items: parallel_index.len() * queries.len(),
+        threads,
+        seconds: parallel_online,
+    });
+    let rankings_identical = serial_hits
+        .iter()
+        .zip(&parallel_hits)
+        .all(|(a, b)| {
+            a.len() == b.len()
+                && a.iter().zip(b).all(|(x, y)| {
+                    x.function == y.function && x.score.to_bits() == y.score.to_bits()
+                })
+        });
+
+    let offline_speedup = serial_offline / parallel_offline.max(1e-12);
+    let online_speedup = serial_online / parallel_online.max(1e-12);
+
+    eprint!("{}", clock.render());
+    println!("offline: serial {serial_offline:.3}s, parallel {parallel_offline:.3}s ({offline_speedup:.2}x on {threads} threads)");
+    println!("online:  serial {serial_online:.3}s, parallel {parallel_online:.3}s ({online_speedup:.2}x)");
+    println!("bit-identical index: {identical}; bit-identical rankings: {rankings_identical}");
+    assert!(identical, "parallel index diverged from serial");
+    assert!(rankings_identical, "parallel ranking diverged from serial");
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let json = format!(
+        "{{\n  \"scale\": \"{scale:?}\",\n  \"images\": {},\n  \"functions\": {},\n  \
+         \"indexed_functions\": {},\n  \"available_cores\": {cores},\n  \"threads\": {threads},\n  \
+         \"offline_serial_seconds\": {serial_offline:.6},\n  \
+         \"offline_parallel_seconds\": {parallel_offline:.6},\n  \
+         \"offline_speedup\": {offline_speedup:.4},\n  \
+         \"online_serial_seconds\": {serial_online:.6},\n  \
+         \"online_parallel_seconds\": {parallel_online:.6},\n  \
+         \"online_speedup\": {online_speedup:.4},\n  \
+         \"bit_identical_index\": {identical},\n  \
+         \"bit_identical_rankings\": {rankings_identical}\n}}\n",
+        firmware.len(),
+        total_functions,
+        serial_index.len(),
+    );
+    std::fs::write("BENCH_offline.json", &json).expect("write BENCH_offline.json");
+    eprintln!("[bench_offline] wrote BENCH_offline.json");
+}

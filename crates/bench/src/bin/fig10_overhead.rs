@@ -31,7 +31,7 @@ fn main() {
     );
     println!();
     let mut sorted = sizes.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     for bound in [20.0, 40.0, 80.0, 200.0] {
         let frac = sorted.iter().filter(|s| **s < bound).count() as f64 / sorted.len() as f64;
         println!("ASTs with size < {bound:>3}: {:.1}%", frac * 100.0);

@@ -48,18 +48,26 @@ fn main() {
         firmware.len()
     );
 
+    let threads = asteria::exec::thread_count();
+    eprintln!("[table4] offline/online phases on {threads} worker thread(s)");
     let t0 = Instant::now();
     let index = build_search_index(&exp.asteria, &firmware);
     let offline = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let results = run_search(
+    let results = match run_search(
         &exp.asteria,
         &index,
         &firmware,
         &library,
         threshold,
         Arch::X86,
-    );
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[table4] error: {e}");
+            std::process::exit(1);
+        }
+    };
     let online = t1.elapsed().as_secs_f64();
 
     println!("# Table IV — vulnerability search ({scale:?} scale, threshold {threshold:.2})");
@@ -131,7 +139,7 @@ fn main() {
             .iter()
             .map(|(_, e, gt)| (GeminiModel::similarity_from_embeddings(&q, e), *gt))
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
         let hits = ranked
             .iter()
             .take(10)

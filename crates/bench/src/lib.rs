@@ -279,19 +279,26 @@ pub fn asteria_scores(
     set: &PairSet,
     calibrate: bool,
 ) -> Vec<ScoredPair> {
+    // Encode each referenced instance once, fanning the Tree-LSTM passes
+    // (the expensive part) out over the worker pool; the fan-out is
+    // order-preserving so scores match a serial scan bit for bit.
+    let mut needed: Vec<usize> = set.pairs.iter().flat_map(|p| [p.a, p.b]).collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let encoded = asteria::exec::par_map(&needed, |&i| {
+        model.encode(&corpus.instances[i].extracted.tree)
+    });
     let mut enc: Vec<Option<Vec<f32>>> = vec![None; corpus.instances.len()];
-    let mut encode = |i: usize| {
-        if enc[i].is_none() {
-            enc[i] = Some(model.encode(&corpus.instances[i].extracted.tree));
-        }
-        enc[i].clone().expect("just computed")
-    };
+    for (i, v) in needed.into_iter().zip(encoded) {
+        enc[i] = Some(v);
+    }
+    let encoding = |i: usize| enc[i].as_deref().expect("encoded above");
     set.pairs
         .iter()
         .map(|p: &Pair| {
-            let va = encode(p.a);
-            let vb = encode(p.b);
-            let m = model.similarity_from_encodings(&va, &vb) as f64;
+            let va = encoding(p.a);
+            let vb = encoding(p.b);
+            let m = model.similarity_from_encodings(va, vb) as f64;
             let score = if calibrate {
                 calibrated_similarity(
                     m,

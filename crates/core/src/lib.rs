@@ -58,4 +58,7 @@ pub use pipeline::{
     ExtractionReport, FunctionEncoding, FunctionOutcome, ResilientExtraction, DEFAULT_INLINE_BETA,
 };
 pub use siamese::{SiameseHead, SiameseKind};
-pub use train::{train, train_epoch, EpochStats, TrainOptions, TrainPair};
+pub use train::{
+    train, train_epoch, train_with_validation, validation_scores, EpochStats, TrainOptions,
+    TrainPair,
+};

@@ -29,7 +29,8 @@ pub struct RocPoint {
 
 fn sorted_desc(pairs: &[ScoredPair]) -> Vec<ScoredPair> {
     let mut v = pairs.to_vec();
-    v.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    // total_cmp: a NaN score must not panic the sweep.
+    v.sort_by(|a, b| b.score.total_cmp(&a.score));
     v
 }
 
@@ -39,7 +40,7 @@ fn sorted_desc(pairs: &[ScoredPair]) -> Vec<ScoredPair> {
 /// # Panics
 ///
 /// Panics if `pairs` contains no positives or no negatives (the curve is
-/// undefined), or if any score is NaN.
+/// undefined). NaN scores are tolerated (they sort like `total_cmp`).
 pub fn roc_curve(pairs: &[ScoredPair]) -> Vec<RocPoint> {
     let pos = pairs.iter().filter(|p| p.positive).count();
     let neg = pairs.len() - pos;
@@ -56,7 +57,9 @@ pub fn roc_curve(pairs: &[ScoredPair]) -> Vec<RocPoint> {
     while i < sorted.len() {
         let s = sorted[i].score;
         // Consume all pairs tied at this score before emitting a point.
-        while i < sorted.len() && sorted[i].score == s {
+        // total_cmp equality (not `==`): a NaN group must still advance
+        // the cursor instead of spinning forever.
+        while i < sorted.len() && sorted[i].score.total_cmp(&s).is_eq() {
             if sorted[i].positive {
                 tp += 1;
             } else {
@@ -95,7 +98,7 @@ pub fn auc(pairs: &[ScoredPair]) -> f64 {
     assert!(!neg.is_empty(), "AUC requires at least one negative");
     // Sort negatives once; count via binary search: O((m+n) log n).
     let mut sneg = neg.clone();
-    sneg.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    sneg.sort_by(f64::total_cmp);
     let mut u = 0.0f64;
     for p in &pos {
         let below = sneg.partition_point(|x| x < p);
@@ -220,6 +223,25 @@ mod tests {
     #[should_panic(expected = "at least one positive")]
     fn auc_requires_positives() {
         auc(&[ScoredPair::new(0.3, false)]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_metrics() {
+        // A degenerate encoding producing NaN must not kill the run
+        // (PR 1's no-panic guarantee extends to the metric layer).
+        let pairs = vec![
+            ScoredPair::new(0.9, true),
+            ScoredPair::new(f64::NAN, true),
+            ScoredPair::new(0.2, false),
+            ScoredPair::new(f64::NAN, false),
+        ];
+        let a = auc(&pairs);
+        assert!(a.is_finite(), "{a}");
+        let roc = roc_curve(&pairs);
+        assert!(roc.len() >= 2);
+        let (thr, _) = youden_threshold(&pairs);
+        assert!(!thr.is_nan());
+        let _ = tpr_at_fpr(&pairs, 0.05);
     }
 
     #[test]

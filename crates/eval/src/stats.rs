@@ -22,7 +22,8 @@ impl Summary {
             return None;
         }
         let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        // total_cmp: NaN sorts to the end instead of panicking the run.
+        v.sort_by(f64::total_cmp);
         Some(Summary {
             n: v.len(),
             mean: v.iter().sum::<f64>() / v.len() as f64,
@@ -52,7 +53,7 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// form of the paper's Fig. 10(a) AST-size distribution.
 pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, x) in v.iter().enumerate() {
@@ -91,6 +92,15 @@ mod tests {
         assert_eq!(percentile(&v, 25.0), 1.0);
         assert_eq!(percentile(&v, 50.0), 2.0);
         assert_eq!(percentile(&v, 100.0), 4.0);
+    }
+
+    #[test]
+    fn nan_values_do_not_panic_stats() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        let pts = cdf_points(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(pts.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! `asteria-exec` — a deterministic scoped worker pool for the
+//! workspace's hot paths.
+//!
+//! The paper's own cost breakdown (Fig. 10) shows the offline phase —
+//! decompile + Tree-LSTM encoding at ~1 s/function over a 5,979-image
+//! corpus — dominates total cost. This crate provides the execution layer
+//! that fans that work out across cores without changing a single bit of
+//! the output:
+//!
+//! - [`par_map`] / [`par_map_threads`] — an order-preserving parallel map
+//!   over `std::thread::scope` + channels. Work is claimed item-by-item
+//!   from a shared atomic cursor, results are keyed by input index, and
+//!   the output `Vec` is assembled in input order, so the result is
+//!   **bit-identical to the serial map at every thread count** (each item
+//!   is computed by the same code on the same input; only wall-clock
+//!   scheduling varies).
+//! - [`par_map_chunked`] — the same contract with chunked work claiming,
+//!   for very cheap per-item closures where channel traffic would
+//!   dominate.
+//! - [`thread_count`] / [`resolve_threads`] — thread-count policy:
+//!   `ASTERIA_THREADS` (env) overrides, else
+//!   [`std::thread::available_parallelism`].
+//! - [`StageClock`] / [`StageStats`] — per-stage wall-time accounting for
+//!   the offline/online phase breakdowns the benches report.
+//!
+//! No external dependencies (no rayon): the build environment is
+//! offline, and the pool is ~100 lines of `std`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment variable overriding the worker-thread count (`0` or unset
+/// means "use all available cores").
+pub const THREADS_ENV: &str = "ASTERIA_THREADS";
+
+/// The default worker-thread count: the [`THREADS_ENV`] override when set
+/// to a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if that fails).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means "auto" (the
+/// [`thread_count`] policy), anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        thread_count()
+    } else {
+        requested
+    }
+}
+
+/// Order-preserving parallel map with the default thread count.
+///
+/// See [`par_map_threads`] for the determinism contract.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_threads(0, items, f)
+}
+
+/// Order-preserving parallel map over `threads` workers (`0` = auto).
+///
+/// Every item is mapped by the same closure on the same input regardless
+/// of the thread count, and results are placed by input index, so the
+/// output is bit-identical to `items.iter().map(f).collect()` — the
+/// invariant the determinism tests pin down. With one worker (or one
+/// item) the map runs inline without spawning.
+///
+/// Panics in `f` propagate to the caller once the scope joins.
+pub fn par_map_threads<I, T, F>(threads: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+/// Order-preserving parallel map that claims work in chunks of
+/// `chunk_size` items (`0` = auto-size so each worker sees a handful of
+/// chunks). Same determinism contract as [`par_map_threads`]; use it when
+/// the per-item closure is so cheap that per-item channel traffic would
+/// dominate (e.g. scoring one cached encoding pair).
+pub fn par_map_chunked<I, T, F>(threads: usize, chunk_size: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = if chunk_size == 0 {
+        (items.len() / (threads * 4)).max(1)
+    } else {
+        chunk_size
+    };
+    let chunks = AtomicUsize::new(0);
+    let n_chunks = items.len().div_ceil(chunk);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let chunks = &chunks;
+            let f = &f;
+            s.spawn(move || loop {
+                let c = chunks.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let vals: Vec<T> = items[start..end].iter().map(f).collect();
+                if tx.send((start, vals)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        for (start, vals) in rx {
+            for (off, v) in vals.into_iter().enumerate() {
+                out[start + off] = Some(v);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+/// Wall-time record for one named pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (e.g. `"offline-index"`).
+    pub stage: String,
+    /// Items processed by the stage.
+    pub items: usize,
+    /// Worker threads the stage ran with.
+    pub threads: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl StageStats {
+    /// Items per wall-clock second (0 for an instantaneous stage).
+    pub fn throughput(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.items as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Collects per-stage wall-time stats across a pipeline run. Shareable
+/// across threads; recording order is the order `time`/`record` calls
+/// complete.
+#[derive(Debug, Default)]
+pub struct StageClock {
+    stages: Mutex<Vec<StageStats>>,
+}
+
+impl StageClock {
+    /// Creates an empty clock.
+    pub fn new() -> StageClock {
+        StageClock::default()
+    }
+
+    /// Times `f` as one stage over `items` items on `threads` workers.
+    pub fn time<T>(&self, stage: &str, items: usize, threads: usize, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(StageStats {
+            stage: stage.to_string(),
+            items,
+            threads,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        out
+    }
+
+    /// Appends a pre-measured stage.
+    pub fn record(&self, stats: StageStats) {
+        self.stages.lock().expect("clock lock").push(stats);
+    }
+
+    /// All recorded stages, in completion order.
+    pub fn stages(&self) -> Vec<StageStats> {
+        self.stages.lock().expect("clock lock").clone()
+    }
+
+    /// Renders the stages as aligned text lines
+    /// (`stage  items  threads  seconds  items/s`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in self.stages() {
+            out.push_str(&format!(
+                "{:<24} {:>8} items  {:>2} threads  {:>9.3}s  {:>10.1} items/s\n",
+                s.stage,
+                s.items,
+                s.threads,
+                s.seconds,
+                s.throughput()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E3779B9)).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = par_map_threads(threads, &items, |x| x.wrapping_mul(0x9E3779B9));
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_matches_serial() {
+        let items: Vec<i64> = (0..1000).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x * x - 3).collect();
+        for (threads, chunk) in [(2, 1), (4, 7), (8, 0), (3, 1000), (2, 5000)] {
+            let par = par_map_chunked(threads, chunk, &items, |x| x * x - 3);
+            assert_eq!(par, serial, "{threads} threads, chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_float_bits() {
+        // The whole point: floating-point results must be bit-identical,
+        // not merely approximately equal.
+        let items: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        let f = |x: &f64| (x * 1.000000119).exp().ln() + x.sqrt();
+        let serial: Vec<u64> = items.iter().map(|x| f(x).to_bits()).collect();
+        for threads in [2, 5] {
+            let par: Vec<u64> = par_map_threads(threads, &items, |x| f(x).to_bits());
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(4, &empty, |x| x + 1).is_empty());
+        assert_eq!(par_map_threads(4, &[41u32], |x| x + 1), vec![42]);
+        assert_eq!(par_map_chunked(4, 3, &[1u32, 2], |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn stage_clock_records_and_renders() {
+        let clock = StageClock::new();
+        let v = clock.time("encode", 100, 4, || 7);
+        assert_eq!(v, 7);
+        clock.record(StageStats {
+            stage: "search".into(),
+            items: 10,
+            threads: 1,
+            seconds: 2.0,
+        });
+        let stages = clock.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].stage, "encode");
+        assert_eq!(stages[1].throughput(), 5.0);
+        let rendered = clock.render();
+        assert!(rendered.contains("encode"), "{rendered}");
+        assert!(rendered.contains("items/s"), "{rendered}");
+    }
+
+    #[test]
+    fn borrowed_captures_work_in_workers() {
+        // The scoped pool must let closures borrow the caller's stack
+        // (the model reference in the real pipeline).
+        let table: Vec<u32> = (0..32).map(|i| i * 3).collect();
+        let out = par_map_threads(4, &(0..32usize).collect::<Vec<_>>(), |i| table[*i]);
+        assert_eq!(out, table);
+    }
+}

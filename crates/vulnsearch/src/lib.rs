@@ -26,6 +26,7 @@ pub use firmware::{build_firmware_corpus, FirmwareConfig, FirmwareImage, Planted
 pub use library::{vulnerability_library, CveEntry};
 pub use report::{render_report, render_report_with_extraction, render_summary_lines};
 pub use search::{
-    build_search_index, encode_query, run_search, search, top_k_accuracy, CveSearchResult,
-    IndexedFunction, SearchHit, SearchIndex,
+    build_search_index, build_search_index_threads, encode_query, run_search, run_search_threads,
+    search, search_threads, top_k_accuracy, CveSearchResult, IndexedFunction, QueryError,
+    QueryErrorKind, SearchHit, SearchIndex,
 };

@@ -22,6 +22,7 @@ use crate::search::CveSearchResult;
 ///     confirmed: 5,
 ///     total_vulnerable: 5,
 ///     affected_models: vec!["netguard R8".into()],
+///     top_hits: vec![true, true, true, true, true, false, false, false, false, false],
 ///     top10_hits: 5,
 /// }];
 /// let md = render_report(&results, 0.62);
@@ -125,6 +126,7 @@ mod tests {
                 confirmed: 2,
                 total_vulnerable: 2,
                 affected_models: vec!["v m1".into(), "v m2".into()],
+                top_hits: vec![true, true, false],
                 top10_hits: 2,
             },
             CveSearchResult {
@@ -135,6 +137,7 @@ mod tests {
                 confirmed: 0,
                 total_vulnerable: 1,
                 affected_models: vec![],
+                top_hits: vec![false, false],
                 top10_hits: 0,
             },
         ]

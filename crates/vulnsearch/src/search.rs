@@ -1,19 +1,32 @@
 //! The vulnerability search itself (paper §V): encode the whole firmware
 //! corpus offline, then rank every function against each CVE query by
 //! calibrated similarity.
+//!
+//! Both phases fan out over `asteria-exec`'s deterministic worker pool:
+//! the offline phase per **binary** (extraction + Tree-LSTM encoding, the
+//! cost the paper's Fig. 10 shows dominating end-to-end time), the online
+//! phase per **indexed function** (scoring) and per **CVE** (query
+//! encoding). The parallel results are bit-identical to the serial ones
+//! at every thread count — same index order, same scores, same extraction
+//! reports — because each work unit is computed independently and merged
+//! in input order.
 
-use asteria_compiler::{compile_program, Arch};
+use std::cmp::Ordering;
+use std::fmt;
+
+use asteria_compiler::{compile_program, Arch, CompileError};
 use asteria_core::{
     encode_function, extract_binary_resilient, extract_function, function_similarity, AsteriaModel,
     ExtractionReport, FunctionEncoding, DEFAULT_INLINE_BETA,
 };
-use asteria_lang::parse;
+use asteria_decompiler::DecompileError;
+use asteria_lang::{parse, ParseError};
 
 use crate::firmware::FirmwareImage;
 use crate::library::CveEntry;
 
 /// One firmware function in the search index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexedFunction {
     /// Image index in the corpus.
     pub image: usize,
@@ -29,7 +42,7 @@ pub struct IndexedFunction {
 }
 
 /// The offline product: every firmware function encoded once.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchIndex {
     /// All indexed functions.
     pub functions: Vec<IndexedFunction>,
@@ -50,54 +63,140 @@ impl SearchIndex {
     }
 }
 
-/// Encodes every function of every firmware binary (the offline phase).
+/// Encodes every function of every firmware binary (the offline phase)
+/// with the default thread count (`ASTERIA_THREADS` override, else all
+/// cores).
 ///
 /// Extraction is resilient: a corrupt or over-budget function is skipped
 /// and counted in [`SearchIndex::extraction`] instead of aborting the
 /// whole corpus — real firmware always contains functions the decompiler
 /// cannot digest.
 pub fn build_search_index(model: &AsteriaModel, firmware: &[FirmwareImage]) -> SearchIndex {
-    let mut index = SearchIndex::default();
-    for (ii, img) in firmware.iter().enumerate() {
-        for (bi, binary) in img.binaries.iter().enumerate() {
-            let extraction = extract_binary_resilient(binary, DEFAULT_INLINE_BETA);
-            index.extraction.absorb(&extraction.report);
-            for f in extraction.successes() {
+    build_search_index_threads(model, firmware, 0)
+}
+
+/// [`build_search_index`] with an explicit worker count (`0` = auto).
+///
+/// Per-binary extraction + encoding fans out across workers;
+/// [`ExtractionReport`]s and function lists are merged deterministically
+/// in `(image, binary)` input order, so the index is bit-identical to a
+/// serial build at every thread count.
+pub fn build_search_index_threads(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    threads: usize,
+) -> SearchIndex {
+    // One work unit per binary: the granularity that balances fan-out
+    // (images hold few binaries) against per-unit overhead.
+    let units: Vec<(usize, usize, &FirmwareImage)> = firmware
+        .iter()
+        .enumerate()
+        .flat_map(|(ii, img)| (0..img.binaries.len()).map(move |bi| (ii, bi, img)))
+        .collect();
+    let per_binary = asteria_exec::par_map_threads(threads, &units, |&(ii, bi, img)| {
+        let binary = &img.binaries[bi];
+        let extraction = extract_binary_resilient(binary, DEFAULT_INLINE_BETA);
+        let functions: Vec<IndexedFunction> = extraction
+            .successes()
+            .map(|f| {
                 let ground_truth = img
                     .planted
                     .iter()
                     .find(|p| p.binary_index == bi && p.display_name == f.name)
                     .map(|p| (p.cve_index, p.vulnerable));
-                index.functions.push(IndexedFunction {
+                IndexedFunction {
                     image: ii,
                     binary: bi,
                     name: f.name.clone(),
                     encoding: encode_function(model, f),
                     ground_truth,
-                });
-            }
-        }
+                }
+            })
+            .collect();
+        (functions, extraction.report)
+    });
+    let mut index = SearchIndex::default();
+    for (functions, report) in per_binary {
+        index.extraction.absorb(&report);
+        index.functions.extend(functions);
     }
     index
 }
 
-/// Encodes a CVE query function (compiled for `query_arch`, as the analyst
-/// would compile or obtain a reference build of the vulnerable library).
+/// Why a CVE query could not be encoded: the analyst-supplied library
+/// source failed one of the four pipeline stages. Unlike corpus-side
+/// extraction failures (skipped and counted), a failing *query* makes the
+/// whole CVE's search meaningless, so it surfaces as a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryErrorKind {
+    /// The vulnerable source failed to parse.
+    Parse(ParseError),
+    /// The vulnerable source failed to compile for the query arch.
+    Compile(CompileError),
+    /// The named function is absent from the compiled binary.
+    MissingFunction,
+    /// Decompiling the reference build failed.
+    Extract(DecompileError),
+}
+
+/// A typed query-encoding failure, naming the CVE and function it
+/// belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryError {
+    /// CVE identifier of the failing query.
+    pub cve: String,
+    /// The vulnerable function name.
+    pub function: String,
+    /// The failing stage.
+    pub kind: QueryErrorKind,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query {} ({}): ", self.cve, self.function)?;
+        match &self.kind {
+            QueryErrorKind::Parse(e) => write!(f, "library source does not parse: {e}"),
+            QueryErrorKind::Compile(e) => write!(f, "library source does not compile: {e}"),
+            QueryErrorKind::MissingFunction => write!(f, "function not found in compiled library"),
+            QueryErrorKind::Extract(e) => write!(f, "reference build does not decompile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Encodes a CVE query function (compiled for `query_arch`, as the
+/// analyst would compile or obtain a reference build of the vulnerable
+/// library).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the library source fails to compile (covered by library
-/// tests).
-pub fn encode_query(model: &AsteriaModel, entry: &CveEntry, query_arch: Arch) -> FunctionEncoding {
-    let program = parse(&entry.vulnerable_source).expect("library source parses");
-    let binary = compile_program(&program, query_arch).expect("library compiles");
-    let sym = binary.symbol_index(entry.function).expect("query symbol");
-    let f = extract_function(&binary, sym, DEFAULT_INLINE_BETA).expect("query extraction");
-    encode_function(model, &f)
+/// Returns a typed [`QueryError`] when the library source fails to
+/// parse, compile, resolve, or decompile — unparsable analyst input must
+/// not kill the run.
+pub fn encode_query(
+    model: &AsteriaModel,
+    entry: &CveEntry,
+    query_arch: Arch,
+) -> Result<FunctionEncoding, QueryError> {
+    let fail = |kind| QueryError {
+        cve: entry.id.to_string(),
+        function: entry.function.to_string(),
+        kind,
+    };
+    let program = parse(&entry.vulnerable_source).map_err(|e| fail(QueryErrorKind::Parse(e)))?;
+    let binary =
+        compile_program(&program, query_arch).map_err(|e| fail(QueryErrorKind::Compile(e)))?;
+    let sym = binary
+        .symbol_index(entry.function)
+        .ok_or_else(|| fail(QueryErrorKind::MissingFunction))?;
+    let f = extract_function(&binary, sym, DEFAULT_INLINE_BETA)
+        .map_err(|e| fail(QueryErrorKind::Extract(e)))?;
+    Ok(encode_function(model, &f))
 }
 
 /// A ranked search hit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchHit {
     /// Index into [`SearchIndex::functions`].
     pub function: usize,
@@ -105,27 +204,51 @@ pub struct SearchHit {
     pub score: f64,
 }
 
-/// Ranks the whole index against one query (the online phase).
+/// Descending-score ordering that is total: NaN ranks **last** (a
+/// degenerate encoding must sink to the bottom of the ranking, not panic
+/// the sort or float to the top as `total_cmp`'s `NaN > ∞` would).
+fn rank_order(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(&a),
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+/// Ranks the whole index against one query (the online phase) with the
+/// default thread count.
 pub fn search(
     model: &AsteriaModel,
     index: &SearchIndex,
     query: &FunctionEncoding,
 ) -> Vec<SearchHit> {
-    let mut hits: Vec<SearchHit> = index
-        .functions
-        .iter()
+    search_threads(model, index, query, 0)
+}
+
+/// [`search`] with an explicit worker count (`0` = auto). Scoring fans
+/// out per function in index order; the final (stable) sort runs on the
+/// merged scores, so the ranking is identical at every thread count.
+pub fn search_threads(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    query: &FunctionEncoding,
+    threads: usize,
+) -> Vec<SearchHit> {
+    let scores = asteria_exec::par_map_chunked(threads, 0, &index.functions, |f| {
+        function_similarity(model, query, &f.encoding)
+    });
+    let mut hits: Vec<SearchHit> = scores
+        .into_iter()
         .enumerate()
-        .map(|(i, f)| SearchHit {
-            function: i,
-            score: function_similarity(model, query, &f.encoding),
-        })
+        .map(|(function, score)| SearchHit { function, score })
         .collect();
-    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    hits.sort_by(|a, b| rank_order(a.score, b.score));
     hits
 }
 
 /// Table IV-style per-CVE result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CveSearchResult {
     /// CVE identifier.
     pub cve: String,
@@ -141,12 +264,24 @@ pub struct CveSearchResult {
     pub total_vulnerable: usize,
     /// Affected `vendor model` strings, deduplicated.
     pub affected_models: Vec<String>,
-    /// True positives within the top-10 ranked results (§V end-to-end).
+    /// Per-rank ground truth of the top-10 ranked results: `top_hits[r]`
+    /// is true iff the function at rank `r` is a planted vulnerable copy
+    /// of this CVE. Lets top-k accuracy count hits strictly within the
+    /// top k for any k ≤ 10.
+    pub top_hits: Vec<bool>,
+    /// True positives within the top-10 ranked results (§V end-to-end);
+    /// equals `top_hits.iter().filter(|h| **h).count()`.
     pub top10_hits: usize,
 }
 
-/// Runs the full Table IV experiment: searches every CVE against the
-/// index, thresholds candidates, and scores them against ground truth.
+/// Runs the full Table IV experiment with the default thread count:
+/// searches every CVE against the index, thresholds candidates, and
+/// scores them against ground truth.
+///
+/// # Errors
+///
+/// Returns the first (in library order) [`QueryError`] if any CVE's
+/// reference source fails to encode.
 pub fn run_search(
     model: &AsteriaModel,
     index: &SearchIndex,
@@ -154,63 +289,89 @@ pub fn run_search(
     library: &[CveEntry],
     threshold: f64,
     query_arch: Arch,
-) -> Vec<CveSearchResult> {
-    library
-        .iter()
-        .enumerate()
-        .map(|(cve_index, entry)| {
-            let query = encode_query(model, entry, query_arch);
-            let hits = search(model, index, &query);
-            let mut candidates = 0;
-            let mut confirmed = 0;
-            let mut affected: Vec<String> = Vec::new();
-            for h in &hits {
-                if h.score < threshold {
-                    break;
-                }
-                candidates += 1;
-                let f = &index.functions[h.function];
-                if f.ground_truth == Some((cve_index, true)) {
-                    confirmed += 1;
-                    let img = &firmware[f.image];
-                    let label = format!("{} {}", img.vendor, img.model);
-                    if !affected.contains(&label) {
-                        affected.push(label);
-                    }
+) -> Result<Vec<CveSearchResult>, QueryError> {
+    run_search_threads(model, index, firmware, library, threshold, query_arch, 0)
+}
+
+/// [`run_search`] with an explicit worker count (`0` = auto). The CVE
+/// queries encode in parallel, then each per-CVE ranking scores the
+/// index in parallel; error selection (first failing CVE in library
+/// order) and all results are independent of the thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_search_threads(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    firmware: &[FirmwareImage],
+    library: &[CveEntry],
+    threshold: f64,
+    query_arch: Arch,
+    threads: usize,
+) -> Result<Vec<CveSearchResult>, QueryError> {
+    // Fan the CVE set out for query encoding, then surface the first
+    // failure in deterministic library order.
+    let queries = asteria_exec::par_map_threads(threads, library, |entry| {
+        encode_query(model, entry, query_arch)
+    });
+    let mut results = Vec::with_capacity(library.len());
+    for (cve_index, (entry, query)) in library.iter().zip(queries).enumerate() {
+        let query = query?;
+        let hits = search_threads(model, index, &query, threads);
+        let mut candidates = 0;
+        let mut confirmed = 0;
+        let mut affected: Vec<String> = Vec::new();
+        for h in &hits {
+            // Written so a NaN score (never ≥ threshold) also stops the
+            // candidate scan.
+            if !(h.score >= threshold) {
+                break;
+            }
+            candidates += 1;
+            let f = &index.functions[h.function];
+            if f.ground_truth == Some((cve_index, true)) {
+                confirmed += 1;
+                let img = &firmware[f.image];
+                let label = format!("{} {}", img.vendor, img.model);
+                if !affected.contains(&label) {
+                    affected.push(label);
                 }
             }
-            let top10_hits = hits
-                .iter()
-                .take(10)
-                .filter(|h| index.functions[h.function].ground_truth == Some((cve_index, true)))
-                .count();
-            let total_vulnerable = index
-                .functions
-                .iter()
-                .filter(|f| f.ground_truth == Some((cve_index, true)))
-                .count();
-            CveSearchResult {
-                cve: entry.id.to_string(),
-                software: entry.software.to_string(),
-                function: entry.function.to_string(),
-                candidates,
-                confirmed,
-                total_vulnerable,
-                affected_models: affected,
-                top10_hits,
-            }
-        })
-        .collect()
+        }
+        let top_hits: Vec<bool> = hits
+            .iter()
+            .take(10)
+            .map(|h| index.functions[h.function].ground_truth == Some((cve_index, true)))
+            .collect();
+        let top10_hits = top_hits.iter().filter(|h| **h).count();
+        let total_vulnerable = index
+            .functions
+            .iter()
+            .filter(|f| f.ground_truth == Some((cve_index, true)))
+            .count();
+        results.push(CveSearchResult {
+            cve: entry.id.to_string(),
+            software: entry.software.to_string(),
+            function: entry.function.to_string(),
+            candidates,
+            confirmed,
+            total_vulnerable,
+            affected_models: affected,
+            top_hits,
+            top10_hits,
+        });
+    }
+    Ok(results)
 }
 
 /// Top-k accuracy across CVEs: the fraction of top-k slots filled with
 /// true vulnerable functions, capped by availability (the §V end-to-end
-/// comparison metric between Asteria and Gemini).
+/// comparison metric between Asteria and Gemini). A hit only counts
+/// toward ranks `< k` — a hit at rank 8 contributes to top-10 but not
+/// top-1.
 pub fn top_k_accuracy(results: &[CveSearchResult], k: usize) -> f64 {
     let mut hit = 0usize;
     let mut possible = 0usize;
     for r in results {
-        hit += r.top10_hits.min(k);
+        hit += r.top_hits.iter().take(k).filter(|h| **h).count();
         possible += r.total_vulnerable.min(k);
     }
     if possible == 0 {
@@ -268,7 +429,7 @@ mod tests {
     fn search_is_sorted_descending() {
         let (model, _, index) = fixture();
         let lib = vulnerability_library();
-        let q = encode_query(&model, &lib[0], Arch::X86);
+        let q = encode_query(&model, &lib[0], Arch::X86).expect("query encodes");
         let hits = search(&model, &index, &q);
         assert_eq!(hits.len(), index.len());
         for w in hits.windows(2) {
@@ -280,12 +441,47 @@ mod tests {
     fn run_search_produces_one_result_per_cve() {
         let (model, firmware, index) = fixture();
         let lib = vulnerability_library();
-        let results = run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86);
+        let results =
+            run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86).expect("queries encode");
         assert_eq!(results.len(), 7);
         for r in &results {
             assert!(r.confirmed <= r.candidates);
-            assert!(r.top10_hits <= 10);
+            assert!(r.top_hits.len() <= 10);
+            assert_eq!(r.top10_hits, r.top_hits.iter().filter(|h| **h).count());
         }
+    }
+
+    #[test]
+    fn encode_query_surfaces_typed_errors() {
+        let (model, _, _) = fixture();
+        let bad = CveEntry {
+            id: "CVE-0000-0000",
+            software: "bogus",
+            function: "nope",
+            vulnerable_source: "int nope( { broken".into(),
+            patched_source: "int nope() { return 0; }".into(),
+        };
+        let err = encode_query(&model, &bad, Arch::X86).expect_err("must fail");
+        assert_eq!(err.cve, "CVE-0000-0000");
+        assert!(matches!(err.kind, QueryErrorKind::Parse(_)), "{err:?}");
+        assert!(err.to_string().contains("does not parse"), "{err}");
+
+        let missing = CveEntry {
+            vulnerable_source: "int other() { return 1; }".into(),
+            ..bad
+        };
+        let err = encode_query(&model, &missing, Arch::X86).expect_err("must fail");
+        assert!(matches!(err.kind, QueryErrorKind::MissingFunction), "{err:?}");
+    }
+
+    #[test]
+    fn run_search_surfaces_query_errors() {
+        let (model, firmware, index) = fixture();
+        let mut lib = vulnerability_library();
+        lib[2].vulnerable_source = "not even close to MiniC".into();
+        let err = run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86)
+            .expect_err("bad library entry must surface");
+        assert_eq!(err.cve, lib[2].id);
     }
 
     #[test]
@@ -327,7 +523,8 @@ mod tests {
         assert!(!index.is_empty());
         // The whole search pipeline still runs end to end.
         let lib = vulnerability_library();
-        let results = run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86);
+        let results =
+            run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86).expect("queries encode");
         assert_eq!(results.len(), lib.len());
         let report = crate::report::render_report_with_extraction(&results, 0.5, &index.extraction);
         assert!(report.contains("## Corpus coverage"));
@@ -338,8 +535,50 @@ mod tests {
     fn top_k_accuracy_bounds() {
         let (model, firmware, index) = fixture();
         let lib = vulnerability_library();
-        let results = run_search(&model, &index, &firmware, &lib, 0.0, Arch::X86);
+        let results =
+            run_search(&model, &index, &firmware, &lib, 0.0, Arch::X86).expect("queries encode");
         let acc = top_k_accuracy(&results, 10);
         assert!((0.0..=1.0).contains(&acc), "{acc}");
+    }
+
+    #[test]
+    fn top_k_accuracy_counts_strictly_within_k() {
+        // One CVE, one planted copy, found at rank 8 (0-based): it must
+        // count toward top-10 but NOT toward top-1 — the bug the old
+        // `.min(k)` clamp had.
+        let mut top_hits = vec![false; 10];
+        top_hits[8] = true;
+        let r = CveSearchResult {
+            cve: "CVE-X".into(),
+            software: "s".into(),
+            function: "f".into(),
+            candidates: 1,
+            confirmed: 1,
+            total_vulnerable: 1,
+            affected_models: vec![],
+            top_hits,
+            top10_hits: 1,
+        };
+        assert_eq!(top_k_accuracy(&[r.clone()], 10), 1.0);
+        assert_eq!(top_k_accuracy(&[r.clone()], 5), 0.0);
+        assert_eq!(top_k_accuracy(&[r], 1), 0.0);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_never_panic() {
+        let (model, _, mut index) = fixture();
+        assert!(index.len() >= 3);
+        // A degenerate encoding: every component NaN. The similarity it
+        // produces is NaN, which must sink to the bottom of the ranking.
+        let dim = index.functions[0].encoding.vector.len();
+        index.functions[1].encoding.vector = vec![f32::NAN; dim];
+        let lib = vulnerability_library();
+        let q = encode_query(&model, &lib[0], Arch::X86).expect("query encodes");
+        let hits = search(&model, &index, &q);
+        assert_eq!(hits.len(), index.len());
+        let last = hits.last().expect("non-empty");
+        assert!(last.score.is_nan(), "NaN must rank last: {last:?}");
+        assert_eq!(last.function, 1);
+        assert!(hits[..hits.len() - 1].iter().all(|h| !h.score.is_nan()));
     }
 }

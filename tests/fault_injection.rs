@@ -11,10 +11,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use asteria::compiler::{compile_program, decode_function, Arch, Binary};
-use asteria::core::{extract_binary_resilient, DEFAULT_INLINE_BETA};
+use asteria::core::{extract_binary_resilient, AsteriaModel, ModelConfig, DEFAULT_INLINE_BETA};
 use asteria::corrupt::Corruptor;
 use asteria::decompiler::{decompile_function_with, DecompileLimits};
 use asteria::lang::parse;
+use asteria::vulnsearch::{
+    build_firmware_corpus, build_search_index_threads, vulnerability_library, FirmwareConfig,
+};
 
 /// Seeded corruptions per ISA per harness (the issue's floor is 1,000).
 const ROUNDS: u64 = 1000;
@@ -149,6 +152,58 @@ fn loader_survives_corrupted_images() {
         // Bit flips inside code sections leave the container parsable, so
         // a decent fraction must reach the extraction stage at all.
         assert!(loaded_ok > 0, "{arch}: no corrupted image ever loaded");
+    }
+}
+
+/// The parallel offline index build under seeded corruption: with >1
+/// worker, every corrupted function must still degrade to a counted
+/// skip — zero panics — and the merged index must equal the serial one
+/// exactly (same order, same reports).
+#[test]
+fn parallel_index_build_survives_corrupted_corpus() {
+    let model = AsteriaModel::new(ModelConfig {
+        hidden_dim: 12,
+        embed_dim: 8,
+        ..Default::default()
+    });
+    let library = vulnerability_library();
+    for seed in 0..8u64 {
+        let mut firmware = build_firmware_corpus(
+            &FirmwareConfig {
+                images: 3,
+                seed: 1000 + seed,
+                ..Default::default()
+            },
+            &library,
+        );
+        let mut c = Corruptor::new(0xf1ee7 ^ seed);
+        for img in &mut firmware {
+            for binary in &mut img.binaries {
+                for sym in &mut binary.symbols {
+                    // Corrupt roughly a third of all function bodies.
+                    if !sym.code.is_empty() && c.below(3) == 0 {
+                        let (_, code) = c.corrupt(&sym.code);
+                        sym.code = code;
+                    }
+                }
+            }
+        }
+        let serial = no_panic("serial index build", Arch::Arm, seed, || {
+            build_search_index_threads(&model, &firmware, 1)
+        });
+        for threads in [2usize, 4] {
+            let parallel = no_panic("parallel index build", Arch::Arm, seed, || {
+                build_search_index_threads(&model, &firmware, threads)
+            });
+            assert_eq!(
+                serial.extraction, parallel.extraction,
+                "seed {seed}: report diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.functions, parallel.functions,
+                "seed {seed}: index diverged at {threads} threads"
+            );
+        }
     }
 }
 

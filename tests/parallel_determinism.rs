@@ -1,0 +1,125 @@
+//! Determinism of the execution layer: the parallel offline index build
+//! and online ranking must be **bit-identical** to the serial reference
+//! at every thread count — same function order, same scores, same
+//! extraction reports. This is the non-negotiable invariant of the
+//! `asteria-exec` fan-out.
+
+use asteria::compiler::Arch;
+use asteria::core::{AsteriaModel, ModelConfig};
+use asteria::vulnsearch::{
+    build_firmware_corpus, build_search_index_threads, encode_query, run_search_threads,
+    search_threads, vulnerability_library, FirmwareConfig, SearchIndex,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn fixture() -> (AsteriaModel, Vec<asteria::vulnsearch::FirmwareImage>) {
+    let model = AsteriaModel::new(ModelConfig {
+        hidden_dim: 12,
+        embed_dim: 8,
+        ..Default::default()
+    });
+    let firmware = build_firmware_corpus(
+        &FirmwareConfig {
+            images: 4,
+            ..Default::default()
+        },
+        &vulnerability_library(),
+    );
+    (model, firmware)
+}
+
+/// Bit-level index equality: float vectors compared by bits, not by ≈.
+fn assert_index_identical(serial: &SearchIndex, parallel: &SearchIndex, threads: usize) {
+    assert_eq!(
+        serial.extraction, parallel.extraction,
+        "extraction report diverged at {threads} threads"
+    );
+    assert_eq!(
+        serial.functions.len(),
+        parallel.functions.len(),
+        "function count diverged at {threads} threads"
+    );
+    for (i, (a, b)) in serial.functions.iter().zip(&parallel.functions).enumerate() {
+        assert_eq!((a.image, a.binary), (b.image, b.binary), "order @{i}");
+        assert_eq!(a.name, b.name, "name @{i}");
+        assert_eq!(a.ground_truth, b.ground_truth, "ground truth @{i}");
+        assert_eq!(
+            a.encoding.callee_count, b.encoding.callee_count,
+            "callee count @{i}"
+        );
+        let bits_a: Vec<u32> = a.encoding.vector.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.encoding.vector.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "encoding bits @{i} at {threads} threads");
+    }
+}
+
+#[test]
+fn index_build_is_identical_at_every_thread_count() {
+    let (model, firmware) = fixture();
+    let serial = build_search_index_threads(&model, &firmware, 1);
+    assert!(!serial.is_empty());
+    for threads in THREAD_COUNTS {
+        let parallel = build_search_index_threads(&model, &firmware, threads);
+        assert_index_identical(&serial, &parallel, threads);
+    }
+}
+
+#[test]
+fn search_ranking_is_identical_at_every_thread_count() {
+    let (model, firmware) = fixture();
+    let index = build_search_index_threads(&model, &firmware, 1);
+    let library = vulnerability_library();
+    for entry in &library {
+        let query = encode_query(&model, entry, Arch::X86).expect("query encodes");
+        let serial = search_threads(&model, &index, &query, 1);
+        for threads in THREAD_COUNTS {
+            let parallel = search_threads(&model, &index, &query, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.function, b.function, "{}: order diverged", entry.id);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{}: score bits diverged at {threads} threads",
+                    entry.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_search_results_are_identical_at_every_thread_count() {
+    let (model, firmware) = fixture();
+    let index = build_search_index_threads(&model, &firmware, 1);
+    let library = vulnerability_library();
+    let serial = run_search_threads(&model, &index, &firmware, &library, 0.5, Arch::X86, 1)
+        .expect("queries encode");
+    for threads in THREAD_COUNTS {
+        let parallel =
+            run_search_threads(&model, &index, &firmware, &library, 0.5, Arch::X86, threads)
+                .expect("queries encode");
+        assert_eq!(serial, parallel, "results diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn corrupted_corpus_reports_are_identical_in_parallel() {
+    // Extraction *reports* (skip taxonomy) must also merge
+    // deterministically when some binaries are corrupt.
+    let (model, mut firmware) = fixture();
+    for img in &mut firmware {
+        if let Some(binary) = img.binaries.first_mut() {
+            if let Some(sym) = binary.symbols.first_mut() {
+                sym.code = vec![0xff; 7];
+            }
+        }
+    }
+    let serial = build_search_index_threads(&model, &firmware, 1);
+    assert!(serial.extraction.skipped > 0);
+    for threads in THREAD_COUNTS {
+        let parallel = build_search_index_threads(&model, &firmware, threads);
+        assert_index_identical(&serial, &parallel, threads);
+    }
+}
