@@ -12,8 +12,8 @@ use asteria::compiler::Arch;
 use asteria::core::{AsteriaModel, ModelConfig};
 use asteria::exec::{resolve_threads, StageClock};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_threads, encode_query, search_threads,
-    vulnerability_library, FirmwareConfig, SearchIndex,
+    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
+    encode_query, search_threads, vulnerability_library, FirmwareConfig, IndexCache, SearchIndex,
 };
 use asteria_bench::Scale;
 
@@ -95,6 +95,29 @@ fn main() {
 
     let identical = indexes_identical(&serial_index, &parallel_index);
 
+    // Incremental phase: a cold cached build populates the ASIX cache,
+    // then a warm rebuild must serve every binary from it (zero
+    // encodings) and still produce a bit-identical index.
+    let mut cache = IndexCache::default();
+    let t_cold = Instant::now();
+    let (cold_index, cold_stats) =
+        clock.time("offline-index(cached,cold)", total_functions, threads, || {
+            build_search_index_cached_threads(&model, &firmware, &mut cache, threads)
+        });
+    let index_cold = t_cold.elapsed().as_secs_f64();
+
+    let t_warm = Instant::now();
+    let (warm_index, warm_stats) =
+        clock.time("offline-index(cached,warm)", total_functions, threads, || {
+            build_search_index_cached_threads(&model, &firmware, &mut cache, threads)
+        });
+    let index_warm = t_warm.elapsed().as_secs_f64();
+
+    let warm_identical =
+        indexes_identical(&cold_index, &warm_index) && indexes_identical(&serial_index, &warm_index);
+    let warm_all_hits = warm_stats.misses == 0 && warm_stats.hits == cold_stats.misses;
+    let warm_speedup = index_cold / index_warm.max(1e-12);
+
     // Online phase: rank the whole index against every CVE, serial vs
     // parallel, and require identical rankings.
     let queries: Vec<_> = library
@@ -140,9 +163,12 @@ fn main() {
 
     eprint!("{}", clock.render());
     println!("offline: serial {serial_offline:.3}s, parallel {parallel_offline:.3}s ({offline_speedup:.2}x on {threads} threads)");
+    println!("cache:   cold {index_cold:.3}s ({cold_stats}), warm {index_warm:.3}s ({warm_stats}, {warm_speedup:.2}x)");
     println!("online:  serial {serial_online:.3}s, parallel {parallel_online:.3}s ({online_speedup:.2}x)");
-    println!("bit-identical index: {identical}; bit-identical rankings: {rankings_identical}");
+    println!("bit-identical index: {identical}; warm==cold: {warm_identical}; bit-identical rankings: {rankings_identical}");
     assert!(identical, "parallel index diverged from serial");
+    assert!(warm_identical, "warm cached index diverged from cold");
+    assert!(warm_all_hits, "warm rebuild re-encoded binaries: {warm_stats}");
     assert!(rankings_identical, "parallel ranking diverged from serial");
 
     // Hand-rolled JSON (no serde in the offline workspace).
@@ -152,6 +178,12 @@ fn main() {
          \"offline_serial_seconds\": {serial_offline:.6},\n  \
          \"offline_parallel_seconds\": {parallel_offline:.6},\n  \
          \"offline_speedup\": {offline_speedup:.4},\n  \
+         \"index_cold_seconds\": {index_cold:.6},\n  \
+         \"index_warm_seconds\": {index_warm:.6},\n  \
+         \"index_warm_speedup\": {warm_speedup:.4},\n  \
+         \"cache_cold_misses\": {},\n  \
+         \"cache_warm_hits\": {},\n  \
+         \"cache_warm_misses\": {},\n  \
          \"online_serial_seconds\": {serial_online:.6},\n  \
          \"online_parallel_seconds\": {parallel_online:.6},\n  \
          \"online_speedup\": {online_speedup:.4},\n  \
@@ -160,6 +192,9 @@ fn main() {
         firmware.len(),
         total_functions,
         serial_index.len(),
+        cold_stats.misses,
+        warm_stats.hits,
+        warm_stats.misses,
     );
     std::fs::write("BENCH_offline.json", &json).expect("write BENCH_offline.json");
     eprintln!("[bench_offline] wrote BENCH_offline.json");

@@ -9,6 +9,8 @@
 //! asteria-cli strip     <bin.sbf> -o <out.sbf>
 //! asteria-cli train     -o <model.bin> [--packages N] [--epochs E]
 //! asteria-cli similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]
+//! asteria-cli index build -o <index.asix> [--model model.bin] [--images N] [--seed S] [--threads N]
+//! asteria-cli index info  <index.asix>
 //! ```
 
 use std::fs;
@@ -21,6 +23,10 @@ use asteria::core::{
 };
 use asteria::datasets::{build_corpus, build_pairs, to_train_pairs, CorpusConfig, PairConfig};
 use asteria::decompiler::{decompile_function, render_function};
+use asteria::vulnsearch::{
+    build_firmware_corpus, build_search_index_cached_threads, vulnerability_library,
+    FirmwareConfig, IndexCache, ASIX_VERSION,
+};
 
 /// A CLI failure, split by who got it wrong: the invocation (exit code
 /// 2, like the conventional shell usage-error code) or the input data
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         Some("strip") => cmd_strip(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("similarity") => cmd_similarity(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -93,7 +100,9 @@ fn print_usage() {
          \x20 run       <bin.sbf> <function> [int args…]\n\
          \x20 strip     <bin.sbf> -o <out.sbf>\n\
          \x20 train     -o <model.bin> [--packages N] [--epochs E]\n\
-         \x20 similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]"
+         \x20 similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]\n\
+         \x20 index build -o <index.asix> [--model model.bin] [--images N] [--seed S] [--threads N]\n\
+         \x20 index info  <index.asix>"
     );
 }
 
@@ -305,6 +314,106 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
         "saved model to {out} (final loss {:.4})",
         stats.last().map(|s| s.mean_loss).unwrap_or(f32::NAN)
     );
+    Ok(())
+}
+
+/// `index build` / `index info`: the persistent ASIX embedding cache.
+fn cmd_index(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_index_build(&args[1..]),
+        Some("info") => cmd_index_info(&args[1..]),
+        other => Err(CliError::usage(format!(
+            "usage: index build|info …, got {:?}",
+            other.unwrap_or("nothing")
+        ))),
+    }
+}
+
+/// Loads model weights from a file into a default-config model,
+/// surfacing mismatched or corrupt weights as a data error (exit 1),
+/// never a panic.
+fn load_model(path: Option<&str>) -> Result<AsteriaModel, CliError> {
+    let mut model = AsteriaModel::new(ModelConfig::default());
+    if let Some(m) = path {
+        let bytes = fs::read(m).map_err(|e| format!("{m}: {e}"))?;
+        model
+            .restore(&bytes)
+            .map_err(|e| format!("{m}: not a loadable model: {e}"))?;
+    }
+    Ok(model)
+}
+
+fn cmd_index_build(args: &[String]) -> Result<(), CliError> {
+    let out = opt_value(args, "-o")
+        .or(opt_value(args, "--out"))
+        .ok_or_else(|| CliError::usage("missing -o INDEX"))?;
+    let images: usize = opt_value(args, "--images")
+        .unwrap_or("6")
+        .parse()
+        .map_err(|_| CliError::usage("bad --images"))?;
+    let seed: u64 = opt_value(args, "--seed")
+        .unwrap_or("77")
+        .parse()
+        .map_err(|_| CliError::usage("bad --seed"))?;
+    let threads: usize = opt_value(args, "--threads")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError::usage("bad --threads"))?;
+    let model = load_model(opt_value(args, "--model"))?;
+
+    // An existing index at the output path seeds the incremental build;
+    // a corrupt one costs a cold rebuild, never the run.
+    let mut cache = match fs::read(out) {
+        Ok(bytes) => match IndexCache::load(bytes.as_slice()) {
+            Ok(cache) => cache,
+            Err(e) => {
+                eprintln!("warning: ignoring unusable index cache at {out}: {e}");
+                IndexCache::default()
+            }
+        },
+        Err(_) => IndexCache::default(),
+    };
+
+    let firmware = build_firmware_corpus(
+        &FirmwareConfig {
+            images,
+            seed,
+            ..Default::default()
+        },
+        &vulnerability_library(),
+    );
+    let (index, stats) =
+        build_search_index_cached_threads(&model, &firmware, &mut cache, threads);
+    let mut buf = Vec::new();
+    cache.save(&mut buf).map_err(|e| e.to_string())?;
+    fs::write(out, buf).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "indexed {} functions from {} images ({})",
+        index.len(),
+        firmware.len(),
+        index.extraction
+    );
+    println!("embedding cache: {stats}");
+    println!(
+        "wrote {out}: {} cached binaries, {} cached functions",
+        cache.len(),
+        cache.function_count()
+    );
+    Ok(())
+}
+
+fn cmd_index_info(args: &[String]) -> Result<(), CliError> {
+    let pos = positionals(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("usage: index info <index.asix>"))?;
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cache = IndexCache::load(bytes.as_slice()).map_err(|e| format!("{path}: {e}"))?;
+    println!("ASIX index {path} (format v{ASIX_VERSION})");
+    println!("model weights digest:  {:#018x}", cache.model_digest);
+    println!("extraction params:     {:#018x}", cache.params_digest);
+    println!("cached binaries:       {}", cache.len());
+    println!("cached functions:      {}", cache.function_count());
     Ok(())
 }
 

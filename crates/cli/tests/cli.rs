@@ -229,6 +229,111 @@ fn malformed_sbf_exits_with_code_1_not_a_panic() {
 }
 
 #[test]
+fn index_build_then_warm_rebuild_serves_every_binary_from_cache() {
+    let idx = temp_path("cache.asix");
+    let _ = std::fs::remove_file(&idx);
+
+    let cold = cli()
+        .args(["index", "build", "-o", idx.to_str().unwrap(), "--images", "2"])
+        .output()
+        .expect("spawn");
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let text = String::from_utf8_lossy(&cold.stdout);
+    assert!(text.contains("embedding cache: 0 hits"), "{text}");
+    assert!(text.contains("cached binaries"), "{text}");
+
+    let warm = cli()
+        .args(["index", "build", "-o", idx.to_str().unwrap(), "--images", "2"])
+        .output()
+        .expect("spawn");
+    assert!(warm.status.success());
+    let text = String::from_utf8_lossy(&warm.stdout);
+    assert!(text.contains("0 misses"), "warm rebuild re-encoded: {text}");
+    assert!(!text.contains("embedding cache: 0 hits"), "{text}");
+
+    let info = cli()
+        .args(["index", "info", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("format v1"), "{text}");
+    assert!(text.contains("model weights digest"), "{text}");
+    assert!(text.contains("cached binaries"), "{text}");
+}
+
+#[test]
+fn corrupt_index_file_is_a_typed_error_not_a_panic() {
+    let idx = temp_path("corrupt.asix");
+    std::fs::write(&idx, b"XSIA definitely not an index").expect("write junk");
+
+    // `index info` must fail loudly with the typed error.
+    let out = cli()
+        .args(["index", "info", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "{err}");
+    assert!(err.contains("bad magic"), "{err}");
+
+    // `index build` must warn, discard the junk, and rebuild cold.
+    let out = cli()
+        .args(["index", "build", "-o", idx.to_str().unwrap(), "--images", "2"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ignoring unusable index cache"), "{err}");
+    assert!(cli()
+        .args(["index", "info", idx.to_str().unwrap()])
+        .status()
+        .expect("spawn")
+        .success());
+}
+
+#[test]
+fn index_build_rejects_bad_model_file_with_exit_1() {
+    let junk_model = temp_path("junk_model.bin");
+    std::fs::write(&junk_model, b"not a model snapshot").expect("write junk");
+    let idx = temp_path("never.asix");
+    let out = cli()
+        .args([
+            "index",
+            "build",
+            "-o",
+            idx.to_str().unwrap(),
+            "--model",
+            junk_model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "{err}");
+    assert!(err.contains("not a loadable model"), "{err}");
+}
+
+#[test]
+fn index_usage_errors_exit_with_code_2() {
+    // No subcommand.
+    let out = cli().args(["index"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    // Missing -o.
+    let out = cli().args(["index", "build"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing -o"));
+}
+
+#[test]
 fn corrupt_code_reports_decode_offset() {
     // Compile a good binary, then scribble over the first symbol's code
     // so disassembly hits a bad opcode; stderr must name the byte offset.

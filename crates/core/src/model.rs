@@ -180,11 +180,22 @@ impl AsteriaModel {
 
     /// Restores a snapshot created by [`AsteriaModel::snapshot`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the snapshot does not match the model configuration.
-    pub fn restore(&mut self, snapshot: &[u8]) {
-        self.load(snapshot).expect("snapshot matches configuration");
+    /// Returns `InvalidData` when the snapshot does not match the model
+    /// configuration (wrong encoder shapes, unknown parameter names) —
+    /// weights loaded from disk are untrusted input, so a mismatch must
+    /// surface as a typed error, never a panic.
+    pub fn restore(&mut self, snapshot: &[u8]) -> io::Result<()> {
+        self.load(snapshot)
+    }
+
+    /// Content digest of the current weights (names, shapes, exact f32
+    /// bits). Any training step, reconfiguration, or weight edit changes
+    /// it, so it is the invalidation key for persisted artifacts derived
+    /// from this model — notably the on-disk embedding index.
+    pub fn weights_digest(&self) -> u64 {
+        self.store.digest()
     }
 }
 
@@ -270,8 +281,38 @@ mod tests {
         m1.train_pair(&a, &b, false);
         let snapshot = m1.snapshot();
         let mut m2 = AsteriaModel::new(ModelConfig::default());
-        m2.restore(&snapshot);
+        m2.restore(&snapshot).unwrap();
         assert_eq!(m1.similarity(&a, &b), m2.similarity(&a, &b));
+        assert_eq!(m1.weights_digest(), m2.weights_digest());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        // A snapshot from a differently-shaped encoder is a typed error,
+        // not a panic: on-disk weights are untrusted input.
+        let small = AsteriaModel::new(ModelConfig {
+            hidden_dim: 8,
+            embed_dim: 4,
+            ..Default::default()
+        });
+        let mut big = AsteriaModel::new(ModelConfig::default());
+        let err = big.restore(&small.snapshot()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn weights_digest_tracks_training() {
+        let mut m = AsteriaModel::new(ModelConfig {
+            hidden_dim: 8,
+            embed_dim: 4,
+            ..Default::default()
+        });
+        let d0 = m.weights_digest();
+        assert_eq!(d0, m.weights_digest());
+        let a = tree(&[NodeType::If]);
+        let b = tree(&[NodeType::While]);
+        m.train_pair(&a, &b, false);
+        assert_ne!(d0, m.weights_digest(), "a train step must change the digest");
     }
 
     #[test]

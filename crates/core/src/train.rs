@@ -103,7 +103,9 @@ pub fn train(
         stats.push(EpochStats { epoch, mean_loss });
     }
     if let Some(w) = best_weights {
-        model.restore(&w);
+        // This snapshot came from the same model instance, so a mismatch
+        // is impossible (unlike weights loaded from disk).
+        model.restore(&w).expect("own snapshot matches");
     }
     stats
 }

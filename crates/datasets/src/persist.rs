@@ -15,17 +15,46 @@ use asteria_core::extract_binary;
 
 use crate::corpus::{Corpus, CorpusBinary, FunctionInstance};
 
+/// True when a manifest field is safe to write: non-empty, and free of
+/// the TSV structure characters (tab, newline, carriage return) that
+/// would silently corrupt `manifest.tsv`.
+fn field_is_clean(s: &str) -> bool {
+    !s.is_empty() && !s.contains(['\t', '\n', '\r'])
+}
+
+/// True when `file` is a plain basename: joining it to the corpus
+/// directory can never escape that directory. Rejects empty names, path
+/// separators, and the `.`/`..` dot entries.
+fn is_plain_basename(file: &str) -> bool {
+    !file.is_empty() && !file.contains(['/', '\\']) && file != "." && file != ".."
+}
+
 /// Writes every binary of a corpus into `dir` (created if missing) as
 /// `<package>.<arch>.sbf`, plus a `manifest.tsv` listing them.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Returns `InvalidData` when a package name would corrupt the manifest
+/// (embedded tab/newline) or escape the corpus directory (path
+/// separators, `..`); propagates filesystem errors.
 pub fn save_corpus(corpus: &Corpus, dir: &Path) -> io::Result<()> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     fs::create_dir_all(dir)?;
     let mut manifest = String::new();
     for cb in &corpus.binaries {
+        if !field_is_clean(&cb.package) {
+            return Err(bad(format!(
+                "package name {:?} contains manifest structure characters",
+                cb.package
+            )));
+        }
         let file = format!("{}.{}.sbf", cb.package, cb.arch);
+        if !is_plain_basename(&file) {
+            return Err(bad(format!(
+                "package name {:?} is not a plain file basename",
+                cb.package
+            )));
+        }
         let mut buf = Vec::new();
         cb.binary.save(&mut buf)?;
         fs::write(dir.join(&file), buf)?;
@@ -58,6 +87,18 @@ pub fn load_corpus(dir: &Path, beta: usize, min_ast_size: usize) -> io::Result<C
         };
         let arch = Arch::from_name(arch_name)
             .ok_or_else(|| bad(format!("unknown architecture {arch_name}")))?;
+        if !field_is_clean(package) {
+            return Err(bad(format!("manifest line {}: empty package", lineno + 1)));
+        }
+        // The manifest is untrusted: a file entry must be a plain
+        // basename, or `dir.join` would read (and on save, write)
+        // outside the corpus directory.
+        if !is_plain_basename(file) {
+            return Err(bad(format!(
+                "manifest line {}: file {file:?} is not a plain basename",
+                lineno + 1
+            )));
+        }
         let bytes = fs::read(dir.join(file))?;
         let binary = Binary::load(bytes.as_slice())?;
         if binary.arch != arch {
@@ -139,6 +180,70 @@ mod tests {
         let dir = temp_dir("missing");
         fs::create_dir_all(&dir).unwrap();
         assert!(load_corpus(&dir, 6, 5).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_rejects_manifest_breaking_package_names() {
+        let dir = temp_dir("badfield");
+        for evil in ["pkg\tx", "pkg\nx", "pkg\rx", ""] {
+            let mut corpus = small();
+            corpus.binaries[0].package = evil.to_string();
+            let err = save_corpus(&corpus, &dir).expect_err("must reject");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{evil:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_rejects_path_escaping_package_names() {
+        let dir = temp_dir("escape");
+        for evil in ["../pkg", "a/b", "a\\b"] {
+            let mut corpus = small();
+            corpus.binaries[0].package = evil.to_string();
+            let err = save_corpus(&corpus, &dir).expect_err("must reject");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{evil:?}");
+        }
+        // Nothing may have been written outside the corpus dir.
+        assert!(!dir.parent().unwrap().join("pkg.x86.sbf").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_traversal_manifest_paths() {
+        let corpus = small();
+        let dir = temp_dir("traversal");
+        save_corpus(&corpus, &dir).unwrap();
+        // Plant a secret one level up that a traversal entry would reach.
+        let secret = dir.parent().unwrap().join(format!(
+            "asteria_persist_secret_{}.sbf",
+            std::process::id()
+        ));
+        let mut buf = Vec::new();
+        corpus.binaries[0].binary.save(&mut buf).unwrap();
+        fs::write(&secret, &buf).unwrap();
+        let evil = format!(
+            "{}\t{}\t../{}\n",
+            corpus.binaries[0].package,
+            corpus.binaries[0].arch,
+            secret.file_name().unwrap().to_str().unwrap()
+        );
+        fs::write(dir.join("manifest.tsv"), evil).unwrap();
+        let err = load_corpus(&dir, 6, 5).expect_err("must reject traversal");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("basename"), "{err}");
+        let _ = fs::remove_file(&secret);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_dot_dot_file_entry() {
+        let corpus = small();
+        let dir = temp_dir("dotdot");
+        save_corpus(&corpus, &dir).unwrap();
+        fs::write(dir.join("manifest.tsv"), "p\tx86\t..\n").unwrap();
+        let err = load_corpus(&dir, 6, 5).expect_err("must reject ..");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = fs::remove_dir_all(&dir);
     }
 

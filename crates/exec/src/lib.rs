@@ -240,6 +240,25 @@ impl StageClock {
         self.stages.lock().expect("clock lock").clone()
     }
 
+    /// Total wall-clock seconds across all recorded stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.lock().expect("clock lock").iter().map(|s| s.seconds).sum()
+    }
+
+    /// Wall-clock seconds of the named stage (summed over repeats), or
+    /// `None` if it never ran — lets callers report per-stage timings
+    /// (e.g. warm vs cold index builds) without re-walking the list.
+    pub fn stage_seconds(&self, stage: &str) -> Option<f64> {
+        let stages = self.stages.lock().expect("clock lock");
+        let mut total = 0.0;
+        let mut seen = false;
+        for s in stages.iter().filter(|s| s.stage == stage) {
+            total += s.seconds;
+            seen = true;
+        }
+        seen.then_some(total)
+    }
+
     /// Renders the stages as aligned text lines
     /// (`stage  items  threads  seconds  items/s`).
     pub fn render(&self) -> String {
@@ -328,6 +347,29 @@ mod tests {
         let rendered = clock.render();
         assert!(rendered.contains("encode"), "{rendered}");
         assert!(rendered.contains("items/s"), "{rendered}");
+    }
+
+    #[test]
+    fn stage_seconds_and_totals() {
+        let clock = StageClock::new();
+        for seconds in [1.0, 2.0] {
+            clock.record(StageStats {
+                stage: "warm".into(),
+                items: 1,
+                threads: 1,
+                seconds,
+            });
+        }
+        clock.record(StageStats {
+            stage: "cold".into(),
+            items: 1,
+            threads: 1,
+            seconds: 4.0,
+        });
+        assert_eq!(clock.stage_seconds("warm"), Some(3.0));
+        assert_eq!(clock.stage_seconds("cold"), Some(4.0));
+        assert_eq!(clock.stage_seconds("absent"), None);
+        assert_eq!(clock.total_seconds(), 7.0);
     }
 
     #[test]

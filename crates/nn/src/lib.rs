@@ -46,5 +46,5 @@ mod tensor;
 pub use graph::{Graph, NodeId};
 pub use layers::{Embedding, Linear};
 pub use optim::{AdaGrad, Adam, Optimizer, Sgd};
-pub use params::{ParamId, ParamStore};
+pub use params::{Fnv, ParamId, ParamStore};
 pub use tensor::Tensor;

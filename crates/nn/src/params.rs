@@ -168,11 +168,20 @@ impl ParamStore {
     /// Loads parameter values previously written by [`ParamStore::save`]
     /// into this store, matching parameters by name.
     ///
+    /// Header fields are untrusted: the name is resolved and its
+    /// registered shape checked *before* any data buffer is allocated,
+    /// and the element count is capped, so a corrupt or adversarial
+    /// stream cannot trigger a multi-GiB allocation (mirroring the
+    /// allocation caps in the SBF loader).
+    ///
     /// # Errors
     ///
     /// Returns `InvalidData` if the stream is malformed, names are unknown,
     /// or shapes do not match the registered parameters.
     pub fn load<R: Read>(&mut self, mut r: R) -> io::Result<()> {
+        /// Hard ceiling on elements per parameter: far above any model
+        /// this workspace builds, far below an OOM.
+        const MAX_PARAM_ELEMS: usize = 1 << 26;
         fn bad(msg: &str) -> io::Error {
             io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
         }
@@ -197,21 +206,87 @@ impl ParamStore {
             let rows = u32::from_le_bytes(u32buf) as usize;
             r.read_exact(&mut u32buf)?;
             let cols = u32::from_le_bytes(u32buf) as usize;
-            let mut data = vec![0.0f32; rows * cols];
-            let mut f32buf = [0u8; 4];
-            for v in &mut data {
-                r.read_exact(&mut f32buf)?;
-                *v = f32::from_le_bytes(f32buf);
-            }
             let id = self
                 .find(&name)
                 .ok_or_else(|| bad(&format!("unknown parameter {name}")))?;
             if self.value(id).shape() != (rows, cols) {
                 return Err(bad(&format!("shape mismatch for {name}")));
             }
+            let elems = rows
+                .checked_mul(cols)
+                .filter(|&n| n <= MAX_PARAM_ELEMS)
+                .ok_or_else(|| bad(&format!("parameter {name} too large")))?;
+            let mut data = vec![0.0f32; elems];
+            let mut f32buf = [0u8; 4];
+            for v in &mut data {
+                r.read_exact(&mut f32buf)?;
+                *v = f32::from_le_bytes(f32buf);
+            }
             *self.value_mut(id) = Tensor::from_vec(rows, cols, data);
         }
         Ok(())
+    }
+
+    /// Content digest of every parameter (names, shapes, exact weight
+    /// bits) — FNV-1a over the same layout [`ParamStore::save`] writes.
+    ///
+    /// Two stores digest equal iff they would serialize identically, so
+    /// the digest is the cache-invalidation key for anything derived
+    /// from the weights (e.g. a persistent embedding index): one SGD
+    /// step, one renamed parameter, or one reshaped tensor changes it.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_usize(self.entries.len());
+        for e in &self.entries {
+            h.write(e.name.as_bytes());
+            h.write_usize(e.value.rows());
+            h.write_usize(e.value.cols());
+            for v in e.value.as_slice() {
+                h.write(&v.to_bits().to_le_bytes());
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a 64 hasher for content digests (no external deps; the
+/// std `DefaultHasher` is not guaranteed stable across releases, and the
+/// digest here is persisted on disk).
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a usize as 8 little-endian bytes (stable across platforms).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    /// Feeds a u64 as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
     }
 }
 
@@ -297,6 +372,70 @@ mod tests {
         let mut s2 = ParamStore::new();
         s2.add("w", Tensor::ones(3, 3));
         assert!(s2.load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_huge_shape_before_allocating() {
+        // A lying header claiming a ~16-GiB tensor for a registered 1×1
+        // parameter must be rejected up front — shape is validated
+        // against the registered parameter before any data allocation.
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::ones(1, 1));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ASNN");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one record
+        buf.extend_from_slice(&1u32.to_le_bytes()); // name len
+        buf.extend_from_slice(b"w");
+        buf.extend_from_slice(&0x4000_0000u32.to_le_bytes()); // rows
+        buf.extend_from_slice(&0x4000_0000u32.to_le_bytes()); // cols
+        let err = s.load(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+        // Untouched on failure.
+        assert_eq!(s.value(s.find("w").unwrap()).as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn load_rejects_unknown_name_before_allocating() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::ones(1, 1));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"ASNN");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&6u32.to_le_bytes());
+        buf.extend_from_slice(b"rogue!");
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = s.load(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unknown parameter"), "{err}");
+    }
+
+    #[test]
+    fn digest_is_stable_and_weight_sensitive() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::from_rows(&[&[1.0, 2.0]]));
+        let d0 = s.digest();
+        assert_eq!(d0, s.digest(), "digest must be deterministic");
+        s.value_mut(a).as_mut_slice()[0] = 1.0 + 1e-7;
+        assert_ne!(d0, s.digest(), "one-ulp weight change must show");
+
+        // Same values under a different name → different digest.
+        let mut t = ParamStore::new();
+        t.add("b", Tensor::from_rows(&[&[1.0, 2.0]]));
+        assert_ne!(s.digest(), t.digest());
+    }
+
+    #[test]
+    fn digest_matches_across_save_load() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::full(3, 2, 0.5));
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let mut s2 = ParamStore::new();
+        s2.add("w", Tensor::zeros(3, 2));
+        assert_ne!(s.digest(), s2.digest());
+        s2.load(buf.as_slice()).unwrap();
+        assert_eq!(s.digest(), s2.digest());
     }
 
     #[test]

@@ -18,15 +18,23 @@
 #![warn(missing_docs)]
 
 pub mod firmware;
+pub mod index_io;
 pub mod library;
 pub mod report;
 pub mod search;
 
 pub use firmware::{build_firmware_corpus, FirmwareConfig, FirmwareImage, PlantedFunction};
+pub use index_io::{
+    extraction_params_digest, fingerprint_binary, CacheStats, CachedBinary, CachedFunction,
+    IndexCache, IndexError, ASIX_MAGIC, ASIX_VERSION,
+};
 pub use library::{vulnerability_library, CveEntry};
-pub use report::{render_report, render_report_with_extraction, render_summary_lines};
+pub use report::{
+    render_report, render_report_with_cache, render_report_with_extraction, render_summary_lines,
+};
 pub use search::{
-    build_search_index, build_search_index_threads, encode_query, run_search, run_search_threads,
-    search, search_threads, top_k_accuracy, CveSearchResult, IndexedFunction, QueryError,
-    QueryErrorKind, SearchHit, SearchIndex,
+    build_search_index, build_search_index_cached, build_search_index_cached_threads,
+    build_search_index_threads, encode_query, run_search, run_search_threads, search,
+    search_threads, top_k_accuracy, CveSearchResult, IndexedFunction, QueryError, QueryErrorKind,
+    SearchHit, SearchIndex,
 };

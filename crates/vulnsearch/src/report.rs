@@ -5,6 +5,7 @@ use std::fmt::Write;
 
 use asteria_core::ExtractionReport;
 
+use crate::index_io::CacheStats;
 use crate::search::CveSearchResult;
 
 /// Renders Table IV-style markdown from per-CVE search results.
@@ -99,6 +100,34 @@ pub fn render_report_with_extraction(
     out
 }
 
+/// Renders the full report including the corpus extraction outcome
+/// *and* the embedding-cache accounting of an incremental
+/// [`build_search_index_cached`](crate::build_search_index_cached)
+/// build: how many binaries were served warm from the ASIX cache, how
+/// many were encoded cold, and how many stale entries were evicted.
+///
+/// # Examples
+///
+/// ```
+/// use asteria_core::ExtractionReport;
+/// use asteria_vulnsearch::{render_report_with_cache, CacheStats};
+///
+/// let extraction = ExtractionReport { total: 10, extracted: 10, ..Default::default() };
+/// let stats = CacheStats { hits: 3, misses: 1, evicted: 2 };
+/// let md = render_report_with_cache(&[], 0.5, &extraction, &stats);
+/// assert!(md.contains("3 hits, 1 misses, 2 evicted"));
+/// ```
+pub fn render_report_with_cache(
+    results: &[CveSearchResult],
+    threshold: f64,
+    extraction: &ExtractionReport,
+    cache: &CacheStats,
+) -> String {
+    let mut out = render_report_with_extraction(results, threshold, extraction);
+    let _ = writeln!(out, "embedding cache: {cache}");
+    out
+}
+
 /// Per-CVE recall line summary (compact log form).
 pub fn render_summary_lines(results: &[CveSearchResult]) -> Vec<String> {
     results
@@ -151,6 +180,23 @@ mod tests {
         assert!(md.contains("v m1, v m2"));
         assert!(md.contains("| — |"));
         assert!(md.contains("confirmed 2 of 3"));
+    }
+
+    #[test]
+    fn cache_stats_render_into_the_coverage_section() {
+        let extraction = ExtractionReport {
+            total: 4,
+            extracted: 4,
+            ..Default::default()
+        };
+        let stats = CacheStats {
+            hits: 2,
+            misses: 2,
+            evicted: 1,
+        };
+        let md = render_report_with_cache(&sample(), 0.5, &extraction, &stats);
+        assert!(md.contains("## Corpus coverage"), "{md}");
+        assert!(md.contains("embedding cache: 2 hits, 2 misses, 1 evicted"), "{md}");
     }
 
     #[test]

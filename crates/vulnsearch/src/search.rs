@@ -19,10 +19,14 @@ use asteria_core::{
     encode_function, extract_binary_resilient, extract_function, function_similarity, AsteriaModel,
     ExtractionReport, FunctionEncoding, DEFAULT_INLINE_BETA,
 };
-use asteria_decompiler::DecompileError;
+use asteria_decompiler::{DecompileError, DecompileLimits};
 use asteria_lang::{parse, ParseError};
 
 use crate::firmware::FirmwareImage;
+use crate::index_io::{
+    extraction_params_digest, fingerprint_binary, CacheStats, CachedBinary, CachedFunction,
+    IndexCache,
+};
 use crate::library::CveEntry;
 
 /// One firmware function in the search index.
@@ -86,41 +90,140 @@ pub fn build_search_index_threads(
     firmware: &[FirmwareImage],
     threads: usize,
 ) -> SearchIndex {
+    // A throwaway cache: every binary misses, so this is the cold path —
+    // one code path for cold and warm builds keeps them bit-identical by
+    // construction.
+    let mut cache = IndexCache::for_model(model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+    build_search_index_cached_threads(model, firmware, &mut cache, threads).0
+}
+
+/// [`build_search_index_cached_threads`] with the default thread count.
+pub fn build_search_index_cached(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    cache: &mut IndexCache,
+) -> (SearchIndex, CacheStats) {
+    build_search_index_cached_threads(model, firmware, cache, 0)
+}
+
+/// Incremental offline phase: like [`build_search_index_threads`], but
+/// backed by a persistent [`IndexCache`].
+///
+/// Each binary is fingerprinted over (exact binary bytes, extraction
+/// parameters, model weights digest). A fingerprint **hit** replays the
+/// cached embeddings and extraction report — no decompilation, no
+/// Tree-LSTM encoding. A **miss** runs the cold pipeline, fanning out
+/// over `asteria-exec` workers as before, and the result is written back
+/// to the cache. Entries whose fingerprint no longer appears in the
+/// corpus (and the whole cache, when the model weights or
+/// [`DecompileLimits`] digests changed) are **evicted** so the cache
+/// never serves stale embeddings.
+///
+/// The returned index is bit-identical to a cold
+/// [`build_search_index_threads`] build at every thread count and every
+/// hit/miss mix: cached vectors are the exact bits the cold path
+/// produced, reports are replayed verbatim, and ground truth is
+/// recomputed from the live corpus (identity metadata is not trusted
+/// across corpus relabelings).
+pub fn build_search_index_cached_threads(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    cache: &mut IndexCache,
+    threads: usize,
+) -> (SearchIndex, CacheStats) {
+    let model_digest = model.weights_digest();
+    let params_digest =
+        extraction_params_digest(DEFAULT_INLINE_BETA, &DecompileLimits::default());
+    let mut stats = CacheStats::default();
+    if cache.model_digest != model_digest || cache.params_digest != params_digest {
+        // Retraining or a budget change invalidates every embedding.
+        stats.evicted += cache.clear();
+        cache.model_digest = model_digest;
+        cache.params_digest = params_digest;
+    }
+
     // One work unit per binary: the granularity that balances fan-out
-    // (images hold few binaries) against per-unit overhead.
+    // (images hold few binaries) against per-unit overhead, and the
+    // granularity the cache is keyed at (callee counts depend on sibling
+    // symbols, so a binary is the smallest self-contained unit).
     let units: Vec<(usize, usize, &FirmwareImage)> = firmware
         .iter()
         .enumerate()
         .flat_map(|(ii, img)| (0..img.binaries.len()).map(move |bi| (ii, bi, img)))
         .collect();
+    let cache_ref = &*cache;
     let per_binary = asteria_exec::par_map_threads(threads, &units, |&(ii, bi, img)| {
         let binary = &img.binaries[bi];
-        let extraction = extract_binary_resilient(binary, DEFAULT_INLINE_BETA);
-        let functions: Vec<IndexedFunction> = extraction
-            .successes()
-            .map(|f| {
-                let ground_truth = img
-                    .planted
-                    .iter()
-                    .find(|p| p.binary_index == bi && p.display_name == f.name)
-                    .map(|p| (p.cve_index, p.vulnerable));
-                IndexedFunction {
+        let fingerprint = fingerprint_binary(binary, params_digest, model_digest);
+        let attach_truth = |name: &str| {
+            img.planted
+                .iter()
+                .find(|p| p.binary_index == bi && p.display_name == name)
+                .map(|p| (p.cve_index, p.vulnerable))
+        };
+        if let Some(cached) = cache_ref.get(fingerprint) {
+            // Warm: replay embeddings and report; skip extraction and
+            // all Tree-LSTM encoding.
+            let functions: Vec<IndexedFunction> = cached
+                .functions
+                .iter()
+                .map(|f| IndexedFunction {
                     image: ii,
                     binary: bi,
                     name: f.name.clone(),
-                    encoding: encode_function(model, f),
-                    ground_truth,
-                }
+                    encoding: FunctionEncoding {
+                        name: f.name.clone(),
+                        vector: f.vector.clone(),
+                        callee_count: f.callee_count,
+                    },
+                    ground_truth: attach_truth(&f.name),
+                })
+                .collect();
+            return (functions, cached.report, fingerprint, None);
+        }
+        // Cold: the full resilient extraction + encoding pipeline.
+        let extraction = extract_binary_resilient(binary, DEFAULT_INLINE_BETA);
+        let functions: Vec<IndexedFunction> = extraction
+            .successes()
+            .map(|f| IndexedFunction {
+                image: ii,
+                binary: bi,
+                name: f.name.clone(),
+                encoding: encode_function(model, f),
+                ground_truth: attach_truth(&f.name),
             })
             .collect();
-        (functions, extraction.report)
+        let entry = CachedBinary {
+            report: extraction.report,
+            functions: functions
+                .iter()
+                .map(|f| CachedFunction {
+                    name: f.name.clone(),
+                    callee_count: f.encoding.callee_count,
+                    vector: f.encoding.vector.clone(),
+                })
+                .collect(),
+        };
+        (functions, extraction.report, fingerprint, Some(entry))
     });
+
     let mut index = SearchIndex::default();
-    for (functions, report) in per_binary {
+    let mut live = std::collections::HashSet::with_capacity(per_binary.len());
+    for (functions, report, fingerprint, new_entry) in per_binary {
         index.extraction.absorb(&report);
         index.functions.extend(functions);
+        live.insert(fingerprint);
+        match new_entry {
+            Some(entry) => {
+                stats.misses += 1;
+                cache.insert(fingerprint, entry);
+            }
+            None => stats.hits += 1,
+        }
     }
-    index
+    // Anything the corpus no longer contains is stale.
+    stats.evicted += cache.retain_fingerprints(|fp| live.contains(&fp));
+    (index, stats)
 }
 
 /// Why a CVE query could not be encoded: the analyst-supplied library
@@ -320,9 +423,13 @@ pub fn run_search_threads(
         let mut confirmed = 0;
         let mut affected: Vec<String> = Vec::new();
         for h in &hits {
-            // Written so a NaN score (never ≥ threshold) also stops the
-            // candidate scan.
-            if !(h.score >= threshold) {
+            // A NaN score compares as incomparable (never ≥ threshold),
+            // so it also stops the candidate scan.
+            let at_or_above = matches!(
+                h.score.partial_cmp(&threshold),
+                Some(Ordering::Greater | Ordering::Equal)
+            );
+            if !at_or_above {
                 break;
             }
             candidates += 1;
@@ -559,9 +666,79 @@ mod tests {
             top_hits,
             top10_hits: 1,
         };
-        assert_eq!(top_k_accuracy(&[r.clone()], 10), 1.0);
-        assert_eq!(top_k_accuracy(&[r.clone()], 5), 0.0);
+        assert_eq!(top_k_accuracy(std::slice::from_ref(&r), 10), 1.0);
+        assert_eq!(top_k_accuracy(std::slice::from_ref(&r), 5), 0.0);
         assert_eq!(top_k_accuracy(&[r], 1), 0.0);
+    }
+
+    #[test]
+    fn warm_cached_build_is_bit_identical_and_all_hits() {
+        let (model, firmware, cold_index) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        let (first, cold_stats) = build_search_index_cached(&model, &firmware, &mut cache);
+        let units: usize = firmware.iter().map(|i| i.binaries.len()).sum();
+        assert_eq!(cold_stats.misses, units);
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(first, cold_index, "cached cold build == plain build");
+
+        let (second, warm_stats) = build_search_index_cached(&model, &firmware, &mut cache);
+        assert_eq!(warm_stats.hits, units, "{warm_stats}");
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm_stats.evicted, 0);
+        assert_eq!(second, cold_index, "warm build must be bit-identical");
+    }
+
+    #[test]
+    fn changing_one_binary_re_encodes_only_that_binary() {
+        let (model, mut firmware, _) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        let (_, _) = build_search_index_cached(&model, &firmware, &mut cache);
+        let units: usize = firmware.iter().map(|i| i.binaries.len()).sum();
+        // Corrupt one function body: that binary's fingerprint changes.
+        firmware[0].binaries[0].symbols[0].code = vec![0xff; 7];
+        let (index, stats) = build_search_index_cached(&model, &firmware, &mut cache);
+        assert_eq!(stats.misses, 1, "{stats}");
+        assert_eq!(stats.hits, units - 1);
+        assert_eq!(stats.evicted, 1, "the old entry for that binary is stale");
+        assert_eq!(index.extraction.skipped, 1);
+        // And it matches an uncached build of the modified corpus.
+        assert_eq!(index, build_search_index(&model, &firmware));
+    }
+
+    #[test]
+    fn changing_model_weights_invalidates_the_whole_cache() {
+        let (model, firmware, _) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        build_search_index_cached(&model, &firmware, &mut cache);
+        let entries = cache.len();
+        assert!(entries > 0);
+        // A different seed → different weights → different digest.
+        let retrained = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            seed: 0xBEEF,
+            ..Default::default()
+        });
+        let (index, stats) = build_search_index_cached(&retrained, &firmware, &mut cache);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evicted, entries, "{stats}");
+        assert_eq!(index, build_search_index(&retrained, &firmware));
+        assert_eq!(cache.model_digest, retrained.weights_digest());
+    }
+
+    #[test]
+    fn shrinking_corpus_evicts_dropped_binaries() {
+        let (model, mut firmware, _) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        build_search_index_cached(&model, &firmware, &mut cache);
+        let dropped = firmware.pop().expect("fixture has images");
+        let (_, stats) = build_search_index_cached(&model, &firmware, &mut cache);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.evicted, dropped.binaries.len(), "{stats}");
     }
 
     #[test]

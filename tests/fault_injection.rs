@@ -16,7 +16,8 @@ use asteria::corrupt::Corruptor;
 use asteria::decompiler::{decompile_function_with, DecompileLimits};
 use asteria::lang::parse;
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_threads, vulnerability_library, FirmwareConfig,
+    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
+    vulnerability_library, FirmwareConfig, IndexCache,
 };
 
 /// Seeded corruptions per ISA per harness (the issue's floor is 1,000).
@@ -205,6 +206,49 @@ fn parallel_index_build_survives_corrupted_corpus() {
             );
         }
     }
+}
+
+/// The ASIX index-cache loader under seeded corruption: every mutation
+/// of a real cache file must surface as a typed [`IndexError`] or load a
+/// still-valid structure — never panic — and the pristine bytes must
+/// keep loading back to the exact cache that was saved.
+#[test]
+fn index_cache_loader_survives_corrupted_files() {
+    let model = AsteriaModel::new(ModelConfig {
+        hidden_dim: 12,
+        embed_dim: 8,
+        ..Default::default()
+    });
+    let firmware = build_firmware_corpus(
+        &FirmwareConfig {
+            images: 2,
+            ..Default::default()
+        },
+        &vulnerability_library(),
+    );
+    let mut cache = IndexCache::default();
+    let _ = build_search_index_cached_threads(&model, &firmware, &mut cache, 2);
+    assert!(!cache.is_empty(), "cold build must populate the cache");
+    let mut pristine = Vec::new();
+    cache.save(&mut pristine).expect("save");
+    assert_eq!(
+        IndexCache::load(pristine.as_slice()).expect("pristine bytes load"),
+        cache
+    );
+    let mut rejected = 0u32;
+    for seed in 0..ROUNDS {
+        let mut c = Corruptor::new(0xa51c ^ seed.wrapping_mul(0x9e37));
+        let (_, mutant) = c.corrupt(&pristine);
+        let outcome = no_panic("index cache load", Arch::Arm, seed, || {
+            IndexCache::load(mutant.as_slice())
+        });
+        if let Err(e) = outcome {
+            // The typed error must render without panicking either.
+            no_panic("index error display", Arch::Arm, seed, || e.to_string());
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "no corruption was ever detected");
 }
 
 /// End-to-end: a whole corpus where some binaries are corrupted still

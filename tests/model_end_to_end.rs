@@ -120,7 +120,7 @@ fn model_roundtrips_through_serialization_after_training() {
     );
     let snapshot = model.snapshot();
     let mut restored = AsteriaModel::new(ModelConfig::default());
-    restored.restore(&snapshot);
+    restored.restore(&snapshot).expect("matching configuration");
     let a = scores(&model, &corpus, &test_set, true);
     let b = scores(&restored, &corpus, &test_set, true);
     for (x, y) in a.iter().zip(&b) {

@@ -7,8 +7,9 @@
 use asteria::compiler::Arch;
 use asteria::core::{AsteriaModel, ModelConfig};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_threads, encode_query, run_search_threads,
-    search_threads, vulnerability_library, FirmwareConfig, SearchIndex,
+    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
+    encode_query, run_search_threads, search_threads, vulnerability_library, FirmwareConfig,
+    IndexCache, SearchIndex,
 };
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -63,6 +64,39 @@ fn index_build_is_identical_at_every_thread_count() {
         let parallel = build_search_index_threads(&model, &firmware, threads);
         assert_index_identical(&serial, &parallel, threads);
     }
+}
+
+#[test]
+fn warm_cached_build_is_identical_to_cold_at_every_thread_count() {
+    let (model, firmware) = fixture();
+    let mut cache = IndexCache::default();
+    let (cold, cold_stats) = build_search_index_cached_threads(&model, &firmware, &mut cache, 1);
+    assert_eq!(cold_stats.hits, 0, "fresh cache cannot produce hits");
+    assert!(cold_stats.misses > 0);
+
+    // Persist and reload the cache exactly as `asteria index build` does
+    // between runs: the warm path must survive the disk round-trip.
+    let mut bytes = Vec::new();
+    cache.save(&mut bytes).expect("save");
+    let reloaded = IndexCache::load(bytes.as_slice()).expect("load");
+    assert_eq!(reloaded, cache);
+
+    for threads in THREAD_COUNTS {
+        let mut warm_cache = reloaded.clone();
+        let (warm, warm_stats) =
+            build_search_index_cached_threads(&model, &firmware, &mut warm_cache, threads);
+        assert_eq!(
+            warm_stats.misses, 0,
+            "warm build re-encoded a binary at {threads} threads"
+        );
+        assert_eq!(warm_stats.hits, cold_stats.misses);
+        assert_eq!(warm_stats.evicted, 0);
+        assert_index_identical(&cold, &warm, threads);
+    }
+
+    // The uncached builder must agree bit-for-bit with the cached path.
+    let uncached = build_search_index_threads(&model, &firmware, 1);
+    assert_index_identical(&uncached, &cold, 1);
 }
 
 #[test]
