@@ -7,6 +7,7 @@
 //! | module | crate | role |
 //! |--------|-------|------|
 //! | [`exec`] | `asteria-exec` | deterministic scoped worker pool driving the parallel offline/online phases |
+//! | [`obs`] | `asteria-obs` | unified tracing and metrics layer (spans, counters, Prometheus/JSONL sinks) |
 //! | [`nn`] | `asteria-nn` | tensors, autograd, layers, optimizers (PyTorch substitute) |
 //! | [`lang`] | `asteria-lang` | MiniC frontend + reference interpreter |
 //! | [`compiler`] | `asteria-compiler` | four synthetic ISAs, SBF binaries, VM (gcc/buildroot substitute) |
@@ -52,4 +53,5 @@ pub use asteria_eval as eval;
 pub use asteria_exec as exec;
 pub use asteria_lang as lang;
 pub use asteria_nn as nn;
+pub use asteria_obs as obs;
 pub use asteria_vulnsearch as vulnsearch;

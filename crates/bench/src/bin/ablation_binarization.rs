@@ -82,7 +82,7 @@ fn main() {
             );
         }
         println!("| LCRS (paper) | {best:.4} |");
-        eprintln!("[ablation] LCRS: {best:.4}");
+        asteria::obs::info!("[ablation] LCRS: {best:.4}");
     }
 
     // Truncation.
@@ -128,6 +128,6 @@ fn main() {
             );
         }
         println!("| child truncation | {best:.4} |");
-        eprintln!("[ablation] truncation: {best:.4}");
+        asteria::obs::info!("[ablation] truncation: {best:.4}");
     }
 }

@@ -4,7 +4,12 @@
 //!
 //! Writes `BENCH_offline.json` to the working directory — the seed of the
 //! perf trajectory. Flags: `--scale smoke|mid|paper`, `--threads N`
-//! (default: all cores / `ASTERIA_THREADS`).
+//! (default: all cores / `ASTERIA_THREADS`), `--quiet` (no stderr).
+//!
+//! Also measures the observability tax: the same parallel build with the
+//! `asteria-obs` recorder recording vs hard-disabled, interleaved
+//! min-of-N, asserting the overhead stays under 3% and that recording
+//! never perturbs the index bits.
 
 use std::time::Instant;
 
@@ -72,7 +77,7 @@ fn main() {
     );
     let model = AsteriaModel::new(ModelConfig::default());
     let total_functions: usize = firmware.iter().map(|i| i.function_count()).sum();
-    eprintln!(
+    asteria::obs::info!(
         "[bench_offline] {} images, {total_functions} functions, {cores} core(s), \
          {threads} worker thread(s)",
         firmware.len()
@@ -100,21 +105,25 @@ fn main() {
     // encodings) and still produce a bit-identical index.
     let mut cache = IndexCache::default();
     let t_cold = Instant::now();
-    let (cold_index, cold_stats) =
-        clock.time("offline-index(cached,cold)", total_functions, threads, || {
-            build_search_index_cached_threads(&model, &firmware, &mut cache, threads)
-        });
+    let (cold_index, cold_stats) = clock.time(
+        "offline-index(cached,cold)",
+        total_functions,
+        threads,
+        || build_search_index_cached_threads(&model, &firmware, &mut cache, threads),
+    );
     let index_cold = t_cold.elapsed().as_secs_f64();
 
     let t_warm = Instant::now();
-    let (warm_index, warm_stats) =
-        clock.time("offline-index(cached,warm)", total_functions, threads, || {
-            build_search_index_cached_threads(&model, &firmware, &mut cache, threads)
-        });
+    let (warm_index, warm_stats) = clock.time(
+        "offline-index(cached,warm)",
+        total_functions,
+        threads,
+        || build_search_index_cached_threads(&model, &firmware, &mut cache, threads),
+    );
     let index_warm = t_warm.elapsed().as_secs_f64();
 
-    let warm_identical =
-        indexes_identical(&cold_index, &warm_index) && indexes_identical(&serial_index, &warm_index);
+    let warm_identical = indexes_identical(&cold_index, &warm_index)
+        && indexes_identical(&serial_index, &warm_index);
     let warm_all_hits = warm_stats.misses == 0 && warm_stats.hits == cold_stats.misses;
     let warm_speedup = index_cold / index_warm.max(1e-12);
 
@@ -148,28 +157,78 @@ fn main() {
         threads,
         seconds: parallel_online,
     });
-    let rankings_identical = serial_hits
-        .iter()
-        .zip(&parallel_hits)
-        .all(|(a, b)| {
-            a.len() == b.len()
-                && a.iter().zip(b).all(|(x, y)| {
-                    x.function == y.function && x.score.to_bits() == y.score.to_bits()
-                })
-        });
+    let rankings_identical = serial_hits.iter().zip(&parallel_hits).all(|(a, b)| {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.function == y.function && x.score.to_bits() == y.score.to_bits())
+    });
 
     let offline_speedup = serial_offline / parallel_offline.max(1e-12);
     let online_speedup = serial_online / parallel_online.max(1e-12);
 
-    eprint!("{}", clock.render());
+    // Observability tax on the offline encode stage: the same parallel
+    // build with the recorder recording vs hard-disabled. Rounds are
+    // interleaved and each side keeps its minimum, so a transient stall
+    // on one round cannot bias either mode.
+    const OBS_ROUNDS: usize = 3;
+    let collector = asteria::obs::install();
+    // A single smoke-scale build is ~0.1 s — too short to resolve a 3%
+    // budget against scheduler jitter. Each timed sample repeats the
+    // build until it spans ≥ ~0.25 s, and each mode keeps its best
+    // sample across interleaved rounds.
+    let reps = ((0.25 / parallel_offline.max(1e-9)).ceil() as usize).clamp(1, 64);
+    let mut obs_enabled_seconds = f64::INFINITY;
+    let mut obs_disabled_seconds = f64::INFINITY;
+    for _ in 0..OBS_ROUNDS {
+        asteria::obs::set_enabled(true);
+        collector.reset();
+        let t_on = Instant::now();
+        let mut traced_index = None;
+        for _ in 0..reps {
+            traced_index = Some(build_search_index_threads(&model, &firmware, threads));
+        }
+        obs_enabled_seconds = obs_enabled_seconds.min(t_on.elapsed().as_secs_f64() / reps as f64);
+        asteria::obs::set_enabled(false);
+        let t_off = Instant::now();
+        let mut plain_index = None;
+        for _ in 0..reps {
+            plain_index = Some(build_search_index_threads(&model, &firmware, threads));
+        }
+        obs_disabled_seconds =
+            obs_disabled_seconds.min(t_off.elapsed().as_secs_f64() / reps as f64);
+        assert!(
+            indexes_identical(
+                &traced_index.expect("reps ≥ 1"),
+                &plain_index.expect("reps ≥ 1")
+            ),
+            "recording perturbed the index bits"
+        );
+    }
+    collector.reset();
+    let obs_overhead_pct = (obs_enabled_seconds / obs_disabled_seconds.max(1e-12) - 1.0) * 100.0;
+
+    asteria::obs::info!("{}", clock.render().trim_end());
     println!("offline: serial {serial_offline:.3}s, parallel {parallel_offline:.3}s ({offline_speedup:.2}x on {threads} threads)");
     println!("cache:   cold {index_cold:.3}s ({cold_stats}), warm {index_warm:.3}s ({warm_stats}, {warm_speedup:.2}x)");
     println!("online:  serial {serial_online:.3}s, parallel {parallel_online:.3}s ({online_speedup:.2}x)");
+    println!(
+        "obs:     recording {obs_enabled_seconds:.3}s, disabled {obs_disabled_seconds:.3}s \
+         ({obs_overhead_pct:+.2}% overhead, min of {OBS_ROUNDS}x{reps})"
+    );
     println!("bit-identical index: {identical}; warm==cold: {warm_identical}; bit-identical rankings: {rankings_identical}");
     assert!(identical, "parallel index diverged from serial");
     assert!(warm_identical, "warm cached index diverged from cold");
-    assert!(warm_all_hits, "warm rebuild re-encoded binaries: {warm_stats}");
+    assert!(
+        warm_all_hits,
+        "warm rebuild re-encoded binaries: {warm_stats}"
+    );
     assert!(rankings_identical, "parallel ranking diverged from serial");
+    assert!(
+        obs_overhead_pct < 3.0,
+        "obs recording overhead {obs_overhead_pct:.2}% exceeds the 3% budget \
+         (recording {obs_enabled_seconds:.3}s vs disabled {obs_disabled_seconds:.3}s)"
+    );
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let json = format!(
@@ -187,6 +246,9 @@ fn main() {
          \"online_serial_seconds\": {serial_online:.6},\n  \
          \"online_parallel_seconds\": {parallel_online:.6},\n  \
          \"online_speedup\": {online_speedup:.4},\n  \
+         \"obs_enabled_seconds\": {obs_enabled_seconds:.6},\n  \
+         \"obs_disabled_seconds\": {obs_disabled_seconds:.6},\n  \
+         \"obs_overhead_pct\": {obs_overhead_pct:.4},\n  \
          \"bit_identical_index\": {identical},\n  \
          \"bit_identical_rankings\": {rankings_identical}\n}}\n",
         firmware.len(),
@@ -197,5 +259,5 @@ fn main() {
         warm_stats.misses,
     );
     std::fs::write("BENCH_offline.json", &json).expect("write BENCH_offline.json");
-    eprintln!("[bench_offline] wrote BENCH_offline.json");
+    asteria::obs::info!("[bench_offline] wrote BENCH_offline.json");
 }

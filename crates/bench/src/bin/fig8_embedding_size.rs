@@ -47,6 +47,6 @@ fn main() {
             );
         }
         println!("| {embed_dim} | {best:.4} |");
-        eprintln!("[fig8] embedding {embed_dim}: {best:.4}");
+        asteria::obs::info!("[fig8] embedding {embed_dim}: {best:.4}");
     }
 }

@@ -71,7 +71,7 @@ fn main() {
             );
         }
         println!("| {name} | {best:.4} |");
-        eprintln!("[fig9] {name}: {best:.4}");
+        asteria::obs::info!("[fig9] {name}: {best:.4}");
     }
 
     // Extra ablation (DESIGN.md §4): sweep the inline-filter β used by the
@@ -123,6 +123,6 @@ fn main() {
             })
             .collect();
         println!("| {beta} | {:.4} |", auc(&scores));
-        eprintln!("[fig9] beta {beta} done");
+        asteria::obs::info!("[fig9] beta {beta} done");
     }
 }

@@ -21,7 +21,7 @@ fn main() {
     // (the paper reports 0.84 on its data).
     let scores = exp.asteria_scores(&exp.test_set, true);
     let (threshold, j) = youden_threshold(&scores);
-    eprintln!(
+    asteria::obs::info!(
         "[table4] Youden threshold {threshold:.3} (J = {j:.3}), AUC {:.4}",
         auc(&scores)
     );
@@ -43,13 +43,13 @@ fn main() {
     };
     let firmware = build_firmware_corpus(&fw_cfg, &library);
     let total_functions: usize = firmware.iter().map(|i| i.function_count()).sum();
-    eprintln!(
+    asteria::obs::info!(
         "[table4] firmware corpus: {} images, {total_functions} functions",
         firmware.len()
     );
 
     let threads = asteria::exec::thread_count();
-    eprintln!("[table4] offline/online phases on {threads} worker thread(s)");
+    asteria::obs::info!("[table4] offline/online phases on {threads} worker thread(s)");
     let t0 = Instant::now();
     let index = build_search_index(&exp.asteria, &firmware);
     let offline = t0.elapsed().as_secs_f64();
@@ -64,7 +64,7 @@ fn main() {
     ) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("[table4] error: {e}");
+            asteria::obs::warn!("[table4] error: {e}");
             std::process::exit(1);
         }
     };

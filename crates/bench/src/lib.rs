@@ -32,8 +32,17 @@ pub enum Scale {
 
 impl Scale {
     /// Parses `--scale …` from argv, defaulting to `Smoke`.
+    ///
+    /// Also applies the shared bench verbosity flags: `--quiet` silences
+    /// all stderr progress lines (they go through `asteria::obs`
+    /// events), `--verbose` turns on debug-level lines.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quiet") {
+            asteria::obs::set_verbosity(asteria::obs::Verbosity::Quiet);
+        } else if args.iter().any(|a| a == "--verbose") {
+            asteria::obs::set_verbosity(asteria::obs::Verbosity::Verbose);
+        }
         for w in args.windows(2) {
             if w[0] == "--scale" {
                 match w[1].as_str() {
@@ -151,7 +160,7 @@ impl Experiment {
     /// Like [`Experiment::setup`] but with a custom Asteria configuration
     /// (used by the Fig. 8/9 ablation binaries).
     pub fn setup_with_model(scale: Scale, model_config: ModelConfig) -> Experiment {
-        eprintln!("[setup] building corpus…");
+        asteria::obs::info!("[setup] building corpus…");
         // Mirror the paper's Buildroot setup: the training corpus contains
         // library code of the same style later searched for vulnerabilities
         // (the *patched* CVE variants — never the vulnerable queries).
@@ -162,20 +171,20 @@ impl Experiment {
             .map(|(i, (n, s))| (format!("{n}{i}"), s))
             .collect();
         let corpus = build_corpus_with_extra(&scale.corpus_config(), &library_pkg);
-        eprintln!(
+        asteria::obs::info!(
             "[setup] corpus: {} binaries, {} function instances",
             corpus.binaries.len(),
             corpus.instances.len()
         );
         let pairs = build_pairs(&corpus, &scale.pair_config());
         let (train_set, test_set) = pairs.split(0.8, 5);
-        eprintln!(
+        asteria::obs::info!(
             "[setup] pairs: {} train / {} test",
             train_set.len(),
             test_set.len()
         );
 
-        eprintln!("[setup] training Asteria ({} epochs)…", scale.epochs());
+        asteria::obs::info!("[setup] training Asteria ({} epochs)…", scale.epochs());
         let mut asteria = AsteriaModel::new(model_config);
         let train_pairs = to_train_pairs(&corpus, &train_set);
         {
@@ -195,9 +204,9 @@ impl Experiment {
             );
         }
 
-        eprintln!("[setup] extracting ACFGs…");
+        asteria::obs::info!("[setup] extracting ACFGs…");
         let acfgs = corpus_acfgs(&corpus);
-        eprintln!("[setup] training Gemini ({} epochs)…", scale.epochs());
+        asteria::obs::info!("[setup] training Gemini ({} epochs)…", scale.epochs());
         let mut gemini = GeminiModel::new(GeminiConfig::default());
         let gemini_pairs: Vec<(Acfg, Acfg, bool)> = train_set
             .pairs
@@ -217,7 +226,7 @@ impl Experiment {
                 Some(&mut validate),
             );
         }
-        eprintln!("[setup] done.");
+        asteria::obs::info!("[setup] done.");
         Experiment {
             corpus,
             train_set,

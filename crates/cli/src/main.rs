@@ -56,8 +56,84 @@ impl From<&str> for CliError {
     }
 }
 
+/// Global observability flags, valid on any command: `--quiet` /
+/// `--verbose` set the stderr verbosity, `--trace FILE` writes a JSONL
+/// span/event log, `--metrics-out FILE` writes a Prometheus-style text
+/// exposition. Recording is only enabled when an output is requested, so
+/// plain runs keep the zero-cost no-op path.
+struct GlobalFlags {
+    trace: Option<String>,
+    metrics_out: Option<String>,
+}
+
+impl GlobalFlags {
+    fn wants_recording(&self) -> bool {
+        self.trace.is_some() || self.metrics_out.is_some()
+    }
+}
+
+/// Strips the global flags out of the raw argument list (they may appear
+/// anywhere) so the per-command positional parsing never sees them.
+fn extract_global_flags(args: Vec<String>) -> Result<(GlobalFlags, Vec<String>), CliError> {
+    let mut flags = GlobalFlags {
+        trace: None,
+        metrics_out: None,
+    };
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quiet" => asteria::obs::set_verbosity(asteria::obs::Verbosity::Quiet),
+            "--verbose" => asteria::obs::set_verbosity(asteria::obs::Verbosity::Verbose),
+            "--trace" => {
+                flags.trace = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("missing --trace FILE"))?,
+                );
+            }
+            "--metrics-out" => {
+                flags.metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("missing --metrics-out FILE"))?,
+                );
+            }
+            _ => rest.push(a),
+        }
+    }
+    Ok((flags, rest))
+}
+
+/// Writes the requested observability artifacts from the global
+/// collector. Metrics carry wall-clock timings, so these files are the
+/// only outputs allowed to differ between otherwise identical runs.
+fn write_obs_outputs(flags: &GlobalFlags) -> Result<(), String> {
+    let Some(c) = asteria::obs::collector() else {
+        return Ok(());
+    };
+    if let Some(path) = &flags.metrics_out {
+        fs::write(path, c.render_prometheus()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &flags.trace {
+        fs::write(path, c.render_trace_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if asteria::obs::verbosity() == asteria::obs::Verbosity::Verbose {
+        eprint!("{}", c.render_summary());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, args) = match extract_global_flags(raw) {
+        Ok(v) => v,
+        Err(CliError::Usage(e)) | Err(CliError::Data(e)) => {
+            eprintln!("usage error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if flags.wants_recording() {
+        asteria::obs::install().reset();
+    }
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -76,15 +152,18 @@ fn main() -> ExitCode {
             "unknown command `{other}` (try `asteria-cli help`)"
         ))),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Usage(e)) => {
-            eprintln!("usage error: {e}");
-            ExitCode::from(2)
-        }
-        Err(CliError::Data(e)) => {
+    // Artifacts are written even when the command failed — a partial
+    // trace is exactly what a failure post-mortem needs.
+    let wrote = write_obs_outputs(&flags);
+    match (result, wrote) {
+        (Ok(()), Ok(())) => ExitCode::SUCCESS,
+        (Ok(()), Err(e)) | (Err(CliError::Data(e)), _) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        (Err(CliError::Usage(e)), _) => {
+            eprintln!("usage error: {e}");
+            ExitCode::from(2)
         }
     }
 }
@@ -102,7 +181,11 @@ fn print_usage() {
          \x20 train     -o <model.bin> [--packages N] [--epochs E]\n\
          \x20 similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]\n\
          \x20 index build -o <index.asix> [--model model.bin] [--images N] [--seed S] [--threads N]\n\
-         \x20 index info  <index.asix>"
+         \x20 index info  <index.asix>\n\n\
+         global flags (any command):\n\
+         \x20 --quiet | --verbose      stderr verbosity\n\
+         \x20 --metrics-out FILE       write Prometheus-style metrics\n\
+         \x20 --trace FILE             write a JSONL span/event trace"
     );
 }
 
@@ -143,8 +226,7 @@ fn cmd_compile(args: &[String]) -> Result<(), CliError> {
         .first()
         .ok_or_else(|| CliError::usage("usage: compile <src.mc> --arch A -o OUT"))?;
     let arch_name = opt_value(args, "--arch").unwrap_or("x86");
-    let arch =
-        Arch::from_name(arch_name)
+    let arch = Arch::from_name(arch_name)
         .ok_or_else(|| CliError::usage(format!("unknown architecture {arch_name}")))?;
     let out = opt_value(args, "-o")
         .or(opt_value(args, "--out"))
@@ -167,7 +249,9 @@ fn cmd_compile(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
-    let path = pos.first().ok_or_else(|| CliError::usage("usage: info <bin.sbf>"))?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("usage: info <bin.sbf>"))?;
     let b = load_binary(path)?;
     println!("{b}");
     println!(
@@ -246,7 +330,9 @@ fn cmd_decompile(args: &[String]) -> Result<(), CliError> {
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
     if pos.len() < 2 {
-        return Err(CliError::usage("usage: run <bin.sbf> <function> [int args…]"));
+        return Err(CliError::usage(
+            "usage: run <bin.sbf> <function> [int args…]",
+        ));
     }
     let b = load_binary(pos[0])?;
     let sym = b
@@ -265,7 +351,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_strip(args: &[String]) -> Result<(), CliError> {
     let pos = positionals(args);
-    let path = pos.first().ok_or_else(|| CliError::usage("usage: strip <bin.sbf> -o OUT"))?;
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("usage: strip <bin.sbf> -o OUT"))?;
     let out = opt_value(args, "-o")
         .or(opt_value(args, "--out"))
         .ok_or_else(|| CliError::usage("missing -o OUT"))?;
@@ -290,14 +378,14 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
         .unwrap_or("8")
         .parse()
         .map_err(|_| CliError::usage("bad --epochs"))?;
-    eprintln!("building corpus ({packages} packages × 4 ISAs)…");
+    asteria::obs::info!("building corpus ({packages} packages × 4 ISAs)…");
     let corpus = build_corpus(&CorpusConfig {
         packages,
         ..Default::default()
     });
     let pairs = build_pairs(&corpus, &PairConfig::default());
     let (train_set, _) = pairs.split(0.8, 5);
-    eprintln!("training on {} pairs for {epochs} epochs…", train_set.len());
+    asteria::obs::info!("training on {} pairs for {epochs} epochs…", train_set.len());
     let mut model = AsteriaModel::new(ModelConfig::default());
     let stats = train(
         &mut model,
@@ -367,7 +455,7 @@ fn cmd_index_build(args: &[String]) -> Result<(), CliError> {
         Ok(bytes) => match IndexCache::load(bytes.as_slice()) {
             Ok(cache) => cache,
             Err(e) => {
-                eprintln!("warning: ignoring unusable index cache at {out}: {e}");
+                asteria::obs::warn!("warning: ignoring unusable index cache at {out}: {e}");
                 IndexCache::default()
             }
         },
@@ -382,8 +470,7 @@ fn cmd_index_build(args: &[String]) -> Result<(), CliError> {
         },
         &vulnerability_library(),
     );
-    let (index, stats) =
-        build_search_index_cached_threads(&model, &firmware, &mut cache, threads);
+    let (index, stats) = build_search_index_cached_threads(&model, &firmware, &mut cache, threads);
     let mut buf = Vec::new();
     cache.save(&mut buf).map_err(|e| e.to_string())?;
     fs::write(out, buf).map_err(|e| format!("{out}: {e}"))?;
@@ -452,7 +539,11 @@ fn cmd_similarity(args: &[String]) -> Result<(), CliError> {
                 .load(bytes.as_slice())
                 .map_err(|e| format!("{m}: {e}"))?;
         }
-        None => eprintln!("note: scoring with untrained weights (pass --model for a trained one)"),
+        None => {
+            asteria::obs::info!(
+                "note: scoring with untrained weights (pass --model for a trained one)"
+            )
+        }
     }
 
     let fa = extract_function(&ba, sym_a, DEFAULT_INLINE_BETA).map_err(|e| e.to_string())?;

@@ -234,7 +234,14 @@ fn index_build_then_warm_rebuild_serves_every_binary_from_cache() {
     let _ = std::fs::remove_file(&idx);
 
     let cold = cli()
-        .args(["index", "build", "-o", idx.to_str().unwrap(), "--images", "2"])
+        .args([
+            "index",
+            "build",
+            "-o",
+            idx.to_str().unwrap(),
+            "--images",
+            "2",
+        ])
         .output()
         .expect("spawn");
     assert!(
@@ -247,7 +254,14 @@ fn index_build_then_warm_rebuild_serves_every_binary_from_cache() {
     assert!(text.contains("cached binaries"), "{text}");
 
     let warm = cli()
-        .args(["index", "build", "-o", idx.to_str().unwrap(), "--images", "2"])
+        .args([
+            "index",
+            "build",
+            "-o",
+            idx.to_str().unwrap(),
+            "--images",
+            "2",
+        ])
         .output()
         .expect("spawn");
     assert!(warm.status.success());
@@ -283,7 +297,14 @@ fn corrupt_index_file_is_a_typed_error_not_a_panic() {
 
     // `index build` must warn, discard the junk, and rebuild cold.
     let out = cli()
-        .args(["index", "build", "-o", idx.to_str().unwrap(), "--images", "2"])
+        .args([
+            "index",
+            "build",
+            "-o",
+            idx.to_str().unwrap(),
+            "--images",
+            "2",
+        ])
         .output()
         .expect("spawn");
     assert!(
@@ -334,6 +355,88 @@ fn index_usage_errors_exit_with_code_2() {
 }
 
 #[test]
+fn obs_flags_write_metrics_and_trace_quietly() {
+    let idx = temp_path("obs.asix");
+    let _ = std::fs::remove_file(&idx);
+    let prom = temp_path("obs.prom");
+    let trace = temp_path("obs.jsonl");
+
+    let out = cli()
+        .args([
+            "index",
+            "build",
+            "-o",
+            idx.to_str().unwrap(),
+            "--images",
+            "2",
+            "--quiet",
+            "--metrics-out",
+            prom.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --quiet: not a byte on stderr — yet both artifacts are written.
+    assert!(
+        out.stderr.is_empty(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let prom_text = std::fs::read_to_string(&prom).expect("metrics file");
+    assert!(
+        prom_text.contains("# TYPE asteria_functions_indexed_total counter"),
+        "{prom_text}"
+    );
+    assert!(
+        prom_text.contains("asteria_cache_misses_total"),
+        "{prom_text}"
+    );
+    assert!(
+        prom_text.contains("asteria_decompile_lift_seconds_bucket"),
+        "{prom_text}"
+    );
+    assert!(
+        prom_text.contains("asteria_span_count{path=\"index-build/encode-binary\"}"),
+        "{prom_text}"
+    );
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file");
+    for line in trace_text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    assert!(
+        trace_text.contains("\"path\":\"index-build\""),
+        "{trace_text}"
+    );
+    assert!(
+        trace_text.contains("\"path\":\"index-build/encode-binary\""),
+        "{trace_text}"
+    );
+}
+
+#[test]
+fn obs_flags_missing_value_is_a_usage_error() {
+    for flag in ["--metrics-out", "--trace"] {
+        let out = cli().args(["index", "info", flag]).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage error"),
+            "{flag}"
+        );
+    }
+}
+
+#[test]
 fn corrupt_code_reports_decode_offset() {
     // Compile a good binary, then scribble over the first symbol's code
     // so disassembly hits a bad opcode; stderr must name the byte offset.
@@ -364,5 +467,8 @@ fn corrupt_code_reports_decode_offset() {
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(!err.contains("panicked"), "{err}");
-    assert!(err.contains("bad opcode") && err.contains("at byte 0"), "{err}");
+    assert!(
+        err.contains("bad opcode") && err.contains("at byte 0"),
+        "{err}"
+    );
 }

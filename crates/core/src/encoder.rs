@@ -211,10 +211,18 @@ impl TreeLstm {
 
     /// Convenience: encodes a tree and returns the raw vector (no tape
     /// retained) — the paper's offline embedding step.
+    ///
+    /// Only this offline path is instrumented; the graph-mode
+    /// [`TreeLstm::encode`] used inside training loops stays bare so
+    /// per-cell counters cannot slow the hot path down.
     pub fn encode_to_vec(&self, store: &ParamStore, tree: &BinTree) -> Vec<f32> {
+        let timer = asteria_obs::timer();
         let mut g = Graph::new();
         let h = self.encode(&mut g, store, tree);
-        g.value(h).as_slice().to_vec()
+        let out = g.value(h).as_slice().to_vec();
+        timer.observe_seconds("asteria_encode_seconds", &[]);
+        asteria_obs::counter_add("asteria_treelstm_cells_total", &[], tree.size() as u64);
+        out
     }
 }
 

@@ -312,7 +312,11 @@ mod tests {
         let a = tree(&[NodeType::If]);
         let b = tree(&[NodeType::While]);
         m.train_pair(&a, &b, false);
-        assert_ne!(d0, m.weights_digest(), "a train step must change the digest");
+        assert_ne!(
+            d0,
+            m.weights_digest(),
+            "a train step must change the digest"
+        );
     }
 
     #[test]

@@ -59,9 +59,13 @@ pub fn extract_function_with(
     beta: usize,
     limits: &DecompileLimits,
 ) -> Result<ExtractedFunction, DecompileError> {
+    let timer = asteria_obs::timer();
     let df = decompile_function_with(binary, sym, limits)?;
     let tree = digitalize(&df);
     let ntree = binarize(&tree);
+    timer.observe_seconds("asteria_extract_seconds", &[]);
+    asteria_obs::counter_add("asteria_functions_extracted_total", &[], 1);
+    asteria_obs::counter_add("asteria_nodes_digitalized_total", &[], ntree.size() as u64);
     Ok(ExtractedFunction {
         callee_count: callee_count(binary, &df, beta),
         ast_size: ntree.size(),
@@ -257,11 +261,13 @@ pub struct FunctionEncoding {
 
 /// Encodes an extracted function with a trained model.
 pub fn encode_function(model: &AsteriaModel, f: &ExtractedFunction) -> FunctionEncoding {
-    FunctionEncoding {
+    let enc = FunctionEncoding {
         name: f.name.clone(),
         vector: model.encode(&f.tree),
         callee_count: f.callee_count,
-    }
+    };
+    asteria_obs::counter_add("asteria_functions_encoded_total", &[], 1);
+    enc
 }
 
 /// The final calibrated similarity ℱ(F₁, F₂) between two cached encodings

@@ -87,13 +87,16 @@ pub fn train(
     let mut best_weights: Option<Vec<u8>> = None;
     for epoch in 0..options.epochs {
         let mean_loss = train_epoch(model, pairs, &mut rng);
+        asteria_obs::gauge_set("asteria_train_epoch", &[], epoch as f64);
+        asteria_obs::gauge_set("asteria_train_loss", &[], mean_loss as f64);
         if options.verbose {
-            eprintln!("epoch {epoch}: loss {mean_loss:.4}");
+            asteria_obs::info!("epoch {epoch}: loss {mean_loss:.4}");
         }
         if let Some(validate) = validate.as_deref_mut() {
             let score = validate(model);
+            asteria_obs::gauge_set("asteria_train_validation", &[], score);
             if options.verbose {
-                eprintln!("epoch {epoch}: validation {score:.4}");
+                asteria_obs::info!("epoch {epoch}: validation {score:.4}");
             }
             if score > best_score {
                 best_score = score;
@@ -140,7 +143,8 @@ pub fn train_with_validation(
     threads: usize,
     metric: impl Fn(&[(f32, bool)]) -> f64,
 ) -> Vec<EpochStats> {
-    let mut validate = |m: &AsteriaModel| -> f64 { metric(&validation_scores(m, validation, threads)) };
+    let mut validate =
+        |m: &AsteriaModel| -> f64 { metric(&validation_scores(m, validation, threads)) };
     train(model, pairs, options, Some(&mut validate))
 }
 
@@ -272,11 +276,7 @@ mod tests {
         // Mean positive-pair score as the metric: deterministic, and the
         // parallel path must reproduce the callback path exactly.
         let metric = |scores: &[(f32, bool)]| -> f64 {
-            let pos: Vec<f32> = scores
-                .iter()
-                .filter(|(_, h)| *h)
-                .map(|(s, _)| *s)
-                .collect();
+            let pos: Vec<f32> = scores.iter().filter(|(_, h)| *h).map(|(s, _)| *s).collect();
             pos.iter().map(|s| *s as f64).sum::<f64>() / pos.len().max(1) as f64
         };
         let options = TrainOptions {
@@ -288,8 +288,7 @@ mod tests {
         assert_eq!(stats.len(), 6);
         // Reference run through the plain callback API.
         let mut reference = small_model();
-        let mut validate =
-            |m: &AsteriaModel| -> f64 { metric(&validation_scores(m, &pairs, 1)) };
+        let mut validate = |m: &AsteriaModel| -> f64 { metric(&validation_scores(m, &pairs, 1)) };
         train(&mut reference, &pairs, &options, Some(&mut validate));
         assert_eq!(parallel.snapshot(), reference.snapshot());
     }

@@ -215,10 +215,10 @@ mod tests {
         let dir = temp_dir("traversal");
         save_corpus(&corpus, &dir).unwrap();
         // Plant a secret one level up that a traversal entry would reach.
-        let secret = dir.parent().unwrap().join(format!(
-            "asteria_persist_secret_{}.sbf",
-            std::process::id()
-        ));
+        let secret = dir
+            .parent()
+            .unwrap()
+            .join(format!("asteria_persist_secret_{}.sbf", std::process::id()));
         let mut buf = Vec::new();
         corpus.binaries[0].binary.save(&mut buf).unwrap();
         fs::write(&secret, &buf).unwrap();

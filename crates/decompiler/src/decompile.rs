@@ -159,6 +159,26 @@ pub fn decompile_function_with(
     sym: usize,
     limits: &DecompileLimits,
 ) -> Result<DFunction, DecompileError> {
+    let arch = binary.arch.name();
+    let result = decompile_function_inner(binary, sym, limits);
+    // Counter increments are commutative, so corpus-level totals are
+    // identical at every thread count even though workers race here.
+    asteria_obs::counter_add("asteria_decompile_functions_total", &[("arch", arch)], 1);
+    if let Err(DecompileError::BudgetExceeded { kind, .. }) = &result {
+        asteria_obs::counter_add(
+            "asteria_budget_exceeded_total",
+            &[("kind", kind.label())],
+            1,
+        );
+    }
+    result
+}
+
+fn decompile_function_inner(
+    binary: &Binary,
+    sym: usize,
+    limits: &DecompileLimits,
+) -> Result<DFunction, DecompileError> {
     let symbol = binary
         .symbols
         .get(sym)
@@ -183,6 +203,7 @@ pub fn decompile_function_with(
             actual: cfg.blocks.len(),
         });
     }
+    let lift_timer = asteria_obs::timer();
     let mut blocks = lift_blocks_limited(
         &insts,
         &cfg,
@@ -190,6 +211,10 @@ pub fn decompile_function_with(
         symbol.param_count,
         limits.max_ast_nodes,
     )?;
+    lift_timer.observe_seconds(
+        "asteria_decompile_lift_seconds",
+        &[("arch", binary.arch.name())],
+    );
     // Lifter artifact: 32-bit x86 output keeps compound temporaries
     // (register pressure), other ISAs re-nest expressions fully.
     optimize_lifted_with(&mut blocks, binary.arch != Arch::X86);
@@ -200,7 +225,12 @@ pub fn decompile_function_with(
     if binary.arch != Arch::X86 {
         propagate_params(&mut blocks);
     }
+    let structure_timer = asteria_obs::timer();
     let mut body = structure_limited(&cfg, &blocks, limits.max_structure_iters)?;
+    structure_timer.observe_seconds(
+        "asteria_decompile_structure_seconds",
+        &[("arch", binary.arch.name())],
+    );
     // PPC's negate expansion (`0 - x`) is left as-is — decompilers do not
     // re-idiomize it — while the remainder expansion is recovered.
     recover_idioms(&mut body);

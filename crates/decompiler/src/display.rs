@@ -105,7 +105,9 @@ fn render_stmt(out: &mut String, s: &DStmt, depth: usize, b: &asteria_compiler::
                 // C reader expects unless the arm already diverges.
                 let diverges = matches!(
                     case.body.last(),
-                    Some(DStmt::Return(_)) | Some(DStmt::Break) | Some(DStmt::Continue)
+                    Some(DStmt::Return(_))
+                        | Some(DStmt::Break)
+                        | Some(DStmt::Continue)
                         | Some(DStmt::Goto(_))
                 );
                 if case.value.is_some() && !diverges {

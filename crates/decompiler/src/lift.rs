@@ -157,7 +157,8 @@ fn lift_block(
         regs.get(&r).cloned().unwrap_or(DExpr::Num(0))
     };
     // A register never written holds the `Num(0)` placeholder: size 1.
-    let reg_size = |sizes: &HashMap<u8, usize>, r: u8| -> usize { sizes.get(&r).copied().unwrap_or(1) };
+    let reg_size =
+        |sizes: &HashMap<u8, usize>, r: u8| -> usize { sizes.get(&r).copied().unwrap_or(1) };
     let read_mem = |m: &Mem| -> DExpr {
         match m {
             Mem::Frame(s) => DExpr::Var(VarRef::Local(*s)),

@@ -26,6 +26,28 @@ pub enum BudgetKind {
     StructureIters,
 }
 
+impl BudgetKind {
+    /// All kinds, in declaration order — used to pre-register metric
+    /// series so exposition files always carry every kind, even at zero.
+    pub const ALL: [BudgetKind; 4] = [
+        BudgetKind::Instructions,
+        BudgetKind::BasicBlocks,
+        BudgetKind::AstNodes,
+        BudgetKind::StructureIters,
+    ];
+
+    /// Stable `snake_case` label for metric series
+    /// (`asteria_budget_exceeded_total{kind="..."}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetKind::Instructions => "instructions",
+            BudgetKind::BasicBlocks => "basic_blocks",
+            BudgetKind::AstNodes => "ast_nodes",
+            BudgetKind::StructureIters => "structure_iters",
+        }
+    }
+}
+
 impl fmt::Display for BudgetKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {

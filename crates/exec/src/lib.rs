@@ -31,7 +31,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Environment variable overriding the worker-thread count (`0` or unset
@@ -96,19 +96,26 @@ where
         return items.iter().map(&f).collect();
     }
     let cursor = AtomicUsize::new(0);
+    // Workers run on fresh threads with empty span stacks; propagate the
+    // caller's open span path so their spans nest under it.
+    let parent = asteria_obs::current_path();
     let (tx, rx) = mpsc::channel::<(usize, T)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            s.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                if tx.send((i, f(&items[i]))).is_err() {
-                    break;
+            let parent = parent.as_deref();
+            s.spawn(move || {
+                let _obs = asteria_obs::worker_scope(parent);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if tx.send((i, f(&items[i]))).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -146,22 +153,27 @@ where
     };
     let chunks = AtomicUsize::new(0);
     let n_chunks = items.len().div_ceil(chunk);
+    let parent = asteria_obs::current_path();
     let (tx, rx) = mpsc::channel::<(usize, Vec<T>)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();
             let chunks = &chunks;
             let f = &f;
-            s.spawn(move || loop {
-                let c = chunks.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let start = c * chunk;
-                let end = (start + chunk).min(items.len());
-                let vals: Vec<T> = items[start..end].iter().map(f).collect();
-                if tx.send((start, vals)).is_err() {
-                    break;
+            let parent = parent.as_deref();
+            s.spawn(move || {
+                let _obs = asteria_obs::worker_scope(parent);
+                loop {
+                    let c = chunks.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(items.len());
+                    let vals: Vec<T> = items[start..end].iter().map(f).collect();
+                    if tx.send((start, vals)).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -218,9 +230,17 @@ impl StageClock {
     }
 
     /// Times `f` as one stage over `items` items on `threads` workers.
+    ///
+    /// When the obs recorder is enabled, the stage is also recorded as a
+    /// span named after the stage (annotated with `items`), so pipeline
+    /// timings show up in `--trace` / `--metrics-out` without a second
+    /// bespoke reporting path.
     pub fn time<T>(&self, stage: &str, items: usize, threads: usize, f: impl FnOnce() -> T) -> T {
+        let mut span = asteria_obs::span(stage);
+        span.set_items(items as u64);
         let t0 = Instant::now();
         let out = f();
+        drop(span);
         self.record(StageStats {
             stage: stage.to_string(),
             items,
@@ -231,25 +251,42 @@ impl StageClock {
     }
 
     /// Appends a pre-measured stage.
+    ///
+    /// A worker that panicked mid-stage poisons the mutex; the stats data
+    /// itself is a plain `Vec` that cannot be left inconsistent by a
+    /// panic in *our* critical sections, so recover the inner value
+    /// instead of cascading the panic (the fault-injection harness runs
+    /// with many workers and must degrade one fault to one lost item).
     pub fn record(&self, stats: StageStats) {
-        self.stages.lock().expect("clock lock").push(stats);
+        self.stages
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(stats);
     }
 
     /// All recorded stages, in completion order.
     pub fn stages(&self) -> Vec<StageStats> {
-        self.stages.lock().expect("clock lock").clone()
+        self.stages
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Total wall-clock seconds across all recorded stages.
     pub fn total_seconds(&self) -> f64 {
-        self.stages.lock().expect("clock lock").iter().map(|s| s.seconds).sum()
+        self.stages
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|s| s.seconds)
+            .sum()
     }
 
     /// Wall-clock seconds of the named stage (summed over repeats), or
     /// `None` if it never ran — lets callers report per-stage timings
     /// (e.g. warm vs cold index builds) without re-walking the list.
     pub fn stage_seconds(&self, stage: &str) -> Option<f64> {
-        let stages = self.stages.lock().expect("clock lock");
+        let stages = self.stages.lock().unwrap_or_else(PoisonError::into_inner);
         let mut total = 0.0;
         let mut seen = false;
         for s in stages.iter().filter(|s| s.stage == stage) {
@@ -370,6 +407,38 @@ mod tests {
         assert_eq!(clock.stage_seconds("cold"), Some(4.0));
         assert_eq!(clock.stage_seconds("absent"), None);
         assert_eq!(clock.total_seconds(), 7.0);
+    }
+
+    #[test]
+    fn stage_clock_survives_a_poisoned_lock() {
+        // A worker panicking while holding the lock used to poison it and
+        // turn every later `record`/`stages` call into a second panic.
+        let clock = StageClock::new();
+        clock.record(StageStats {
+            stage: "before".into(),
+            items: 1,
+            threads: 1,
+            seconds: 0.5,
+        });
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = clock.stages.lock().expect("fresh lock");
+                panic!("worker fault while holding the clock lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        // The lock is now poisoned; all accessors must still work.
+        clock.record(StageStats {
+            stage: "after".into(),
+            items: 2,
+            threads: 1,
+            seconds: 1.5,
+        });
+        let stages = clock.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(clock.total_seconds(), 2.0);
+        assert_eq!(clock.stage_seconds("after"), Some(1.5));
+        assert!(clock.render().contains("after"));
     }
 
     #[test]

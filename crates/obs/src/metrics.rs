@@ -1,0 +1,237 @@
+//! Typed metrics: counters, gauges, and fixed-boundary histograms.
+//!
+//! Every series is keyed by name plus a sorted label set, stored in
+//! `BTreeMap`s so iteration — and therefore every sink rendering — is
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram boundaries for wall-time observations, in seconds
+/// (an implicit `+Inf` bucket is always appended). Spanning 10 µs to
+/// 10 s covers everything from one cached similarity to a whole-corpus
+/// stage.
+pub const TIME_BUCKETS_SECONDS: &[f64] = &[1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A metric series identity: name plus sorted `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-style `snake_case`).
+    pub name: String,
+    /// Label pairs, sorted by key then value.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub(crate) fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",…}` (bare `name` when label-free).
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}=\"{v}\"");
+            }
+            out.push('}');
+        }
+        out
+    }
+}
+
+/// A histogram with fixed bucket boundaries (plus an implicit `+Inf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `counts[bounds.len()]` is `+Inf`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 ≤ q ≤ 1): the
+    /// boundary of the first bucket whose cumulative count reaches
+    /// `q × count`. Returns `None` for an empty histogram; the `+Inf`
+    /// bucket reports the largest finite boundary.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(match self.bounds.get(i) {
+                    Some(b) => *b,
+                    None => *self.bounds.last().unwrap_or(&f64::INFINITY),
+                });
+            }
+        }
+        None
+    }
+
+    /// Mean observed value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// The live metric store behind the collector's lock.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub(crate) counters: BTreeMap<MetricKey, u64>,
+    pub(crate) gauges: BTreeMap<MetricKey, f64>,
+    pub(crate) histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl Metrics {
+    pub(crate) fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    pub(crate) fn observe(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        bounds: &[f64],
+    ) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.render(), *v))
+                .collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.render(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.render(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A deterministic, cloneable view of every metric, keyed by the
+/// rendered series name (`name{k="v"}`), for tests and reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_keys_sort_labels_and_render() {
+        let a = MetricKey::new("hits", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("hits", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "hits{a=\"1\",b=\"2\"}");
+        assert_eq!(MetricKey::new("bare", &[]).render(), "bare");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(&[0.001, 0.01, 0.1]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0.0005, 0.002, 0.003, 0.05, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert!((h.sum - 5.0555).abs() < 1e-9);
+        // p20 → first bucket, p50 → second, p100 → +Inf reported as the
+        // largest finite bound.
+        assert_eq!(h.quantile(0.2), Some(0.001));
+        assert_eq!(h.quantile(0.5), Some(0.01));
+        assert_eq!(h.quantile(1.0), Some(0.1));
+        assert!((h.mean().unwrap() - 1.0111).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_le_bucket() {
+        // Prometheus buckets are `le` (≤), so an exact boundary counts
+        // in its own bucket.
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(2.0000001);
+        assert_eq!(h.counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn metrics_store_accumulates_deterministically() {
+        let mut m = Metrics::default();
+        m.counter_add("c", &[("k", "b")], 1);
+        m.counter_add("c", &[("k", "a")], 2);
+        m.counter_add("c", &[("k", "b")], 10);
+        m.gauge_set("g", &[], 1.5);
+        m.gauge_set("g", &[], 2.5);
+        m.observe("h", &[], 0.5, &[1.0]);
+        let snap = m.snapshot();
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(keys, vec!["c{k=\"a\"}", "c{k=\"b\"}"]);
+        assert_eq!(snap.counters["c{k=\"b\"}"], 11);
+        assert_eq!(snap.gauges["g"], 2.5, "gauges keep the last value");
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+}

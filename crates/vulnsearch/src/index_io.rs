@@ -94,7 +94,10 @@ impl fmt::Display for IndexError {
             IndexError::Io(e) => write!(f, "index I/O error: {e}"),
             IndexError::BadMagic => write!(f, "not an ASIX index (bad magic)"),
             IndexError::UnsupportedVersion(v) => {
-                write!(f, "unsupported ASIX version {v} (reader supports {ASIX_VERSION})")
+                write!(
+                    f,
+                    "unsupported ASIX version {v} (reader supports {ASIX_VERSION})"
+                )
             }
             IndexError::Corrupt { offset, what } => {
                 write!(f, "corrupt ASIX index at byte {offset}: {what}")
@@ -194,7 +197,10 @@ impl IndexCache {
 
     /// An empty cache bound to a model and extraction parameters.
     pub fn for_model(model: &AsteriaModel, beta: usize, limits: &DecompileLimits) -> IndexCache {
-        IndexCache::new(model.weights_digest(), extraction_params_digest(beta, limits))
+        IndexCache::new(
+            model.weights_digest(),
+            extraction_params_digest(beta, limits),
+        )
     }
 
     /// Number of cached binaries.
@@ -499,9 +505,7 @@ pub fn extraction_params_digest(beta: usize, limits: &DecompileLimits) -> u64 {
 /// entries self-invalidate.
 pub fn fingerprint_binary(binary: &Binary, params_digest: u64, model_digest: u64) -> u64 {
     let mut bytes = Vec::new();
-    binary
-        .save(&mut bytes)
-        .expect("in-memory save cannot fail");
+    binary.save(&mut bytes).expect("in-memory save cannot fail");
     let mut h = Fnv::new();
     h.write_u64(params_digest);
     h.write_u64(model_digest);

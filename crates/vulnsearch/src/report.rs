@@ -32,10 +32,17 @@ use crate::search::CveSearchResult;
 /// ```
 pub fn render_report(results: &[CveSearchResult], threshold: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Vulnerability search report (threshold {threshold:.2})");
+    let _ = writeln!(
+        out,
+        "# Vulnerability search report (threshold {threshold:.2})"
+    );
     out.push('\n');
-    out.push_str("| # | CVE | software | function | candidates | confirmed | planted | affected models |\n");
-    out.push_str("|---|-----|----------|----------|------------|-----------|---------|------------------|\n");
+    out.push_str(
+        "| # | CVE | software | function | candidates | confirmed | planted | affected models |\n",
+    );
+    out.push_str(
+        "|---|-----|----------|----------|------------|-----------|---------|------------------|\n",
+    );
     let mut total_confirmed = 0;
     let mut total_planted = 0;
     for (i, r) in results.iter().enumerate() {
@@ -196,7 +203,10 @@ mod tests {
         };
         let md = render_report_with_cache(&sample(), 0.5, &extraction, &stats);
         assert!(md.contains("## Corpus coverage"), "{md}");
-        assert!(md.contains("embedding cache: 2 hits, 2 misses, 1 evicted"), "{md}");
+        assert!(
+            md.contains("embedding cache: 2 hits, 2 misses, 1 evicted"),
+            "{md}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use asteria_core::{
     encode_function, extract_binary_resilient, extract_function, function_similarity, AsteriaModel,
     ExtractionReport, FunctionEncoding, DEFAULT_INLINE_BETA,
 };
-use asteria_decompiler::{DecompileError, DecompileLimits};
+use asteria_decompiler::{BudgetKind, DecompileError, DecompileLimits};
 use asteria_lang::{parse, ParseError};
 
 use crate::firmware::FirmwareImage;
@@ -131,9 +131,9 @@ pub fn build_search_index_cached_threads(
     cache: &mut IndexCache,
     threads: usize,
 ) -> (SearchIndex, CacheStats) {
+    let mut build_span = asteria_obs::span("index-build");
     let model_digest = model.weights_digest();
-    let params_digest =
-        extraction_params_digest(DEFAULT_INLINE_BETA, &DecompileLimits::default());
+    let params_digest = extraction_params_digest(DEFAULT_INLINE_BETA, &DecompileLimits::default());
     let mut stats = CacheStats::default();
     if cache.model_digest != model_digest || cache.params_digest != params_digest {
         // Retraining or a budget change invalidates every embedding.
@@ -151,8 +151,11 @@ pub fn build_search_index_cached_threads(
         .enumerate()
         .flat_map(|(ii, img)| (0..img.binaries.len()).map(move |bi| (ii, bi, img)))
         .collect();
+    build_span.set_items(units.len() as u64);
     let cache_ref = &*cache;
     let per_binary = asteria_exec::par_map_threads(threads, &units, |&(ii, bi, img)| {
+        let mut bin_span = asteria_obs::span("encode-binary");
+        let bin_timer = asteria_obs::timer();
         let binary = &img.binaries[bi];
         let fingerprint = fingerprint_binary(binary, params_digest, model_digest);
         let attach_truth = |name: &str| {
@@ -179,6 +182,8 @@ pub fn build_search_index_cached_threads(
                     ground_truth: attach_truth(&f.name),
                 })
                 .collect();
+            bin_span.set_items(functions.len() as u64);
+            bin_timer.observe_seconds("asteria_index_binary_seconds", &[("mode", "warm")]);
             return (functions, cached.report, fingerprint, None);
         }
         // Cold: the full resilient extraction + encoding pipeline.
@@ -204,6 +209,8 @@ pub fn build_search_index_cached_threads(
                 })
                 .collect(),
         };
+        bin_span.set_items(functions.len() as u64);
+        bin_timer.observe_seconds("asteria_index_binary_seconds", &[("mode", "cold")]);
         (functions, extraction.report, fingerprint, Some(entry))
     });
 
@@ -223,7 +230,48 @@ pub fn build_search_index_cached_threads(
     }
     // Anything the corpus no longer contains is stale.
     stats.evicted += cache.retain_fingerprints(|fp| live.contains(&fp));
+    record_build_metrics(&index, &stats);
     (index, stats)
+}
+
+/// Publishes the offline build's obs counters. Everything here is
+/// derived from the deterministically merged results — never from inside
+/// a worker — so every value is identical at any thread count.
+fn record_build_metrics(index: &SearchIndex, stats: &CacheStats) {
+    if !asteria_obs::enabled() {
+        return;
+    }
+    asteria_obs::counter_add("asteria_cache_hits_total", &[], stats.hits as u64);
+    asteria_obs::counter_add("asteria_cache_misses_total", &[], stats.misses as u64);
+    asteria_obs::counter_add("asteria_cache_evicted_total", &[], stats.evicted as u64);
+    asteria_obs::counter_add(
+        "asteria_functions_indexed_total",
+        &[],
+        index.functions.len() as u64,
+    );
+    let r = &index.extraction;
+    for (outcome, n) in [
+        ("extracted", r.extracted),
+        ("over_budget", r.over_budget),
+        ("decode_error", r.decode_errors),
+        ("empty", r.empty_functions),
+        ("other", r.other_errors),
+    ] {
+        asteria_obs::counter_add(
+            "asteria_extraction_outcomes_total",
+            &[("outcome", outcome)],
+            n as u64,
+        );
+    }
+    // Pre-register every budget kind at zero so the exposition always
+    // carries all four series, even on a corpus where none fire.
+    for kind in BudgetKind::ALL {
+        asteria_obs::counter_add(
+            "asteria_budget_exceeded_total",
+            &[("kind", kind.label())],
+            0,
+        );
+    }
 }
 
 /// Why a CVE query could not be encoded: the analyst-supplied library
@@ -338,9 +386,11 @@ pub fn search_threads(
     query: &FunctionEncoding,
     threads: usize,
 ) -> Vec<SearchHit> {
+    let timer = asteria_obs::timer();
     let scores = asteria_exec::par_map_chunked(threads, 0, &index.functions, |f| {
         function_similarity(model, query, &f.encoding)
     });
+    timer.observe_seconds("asteria_search_seconds", &[]);
     let mut hits: Vec<SearchHit> = scores
         .into_iter()
         .enumerate()
@@ -410,6 +460,8 @@ pub fn run_search_threads(
     query_arch: Arch,
     threads: usize,
 ) -> Result<Vec<CveSearchResult>, QueryError> {
+    let mut search_span = asteria_obs::span("online-search");
+    search_span.set_items(library.len() as u64);
     // Fan the CVE set out for query encoding, then surface the first
     // failure in deterministic library order.
     let queries = asteria_exec::par_map_threads(threads, library, |entry| {
@@ -578,7 +630,10 @@ mod tests {
             ..bad
         };
         let err = encode_query(&model, &missing, Arch::X86).expect_err("must fail");
-        assert!(matches!(err.kind, QueryErrorKind::MissingFunction), "{err:?}");
+        assert!(
+            matches!(err.kind, QueryErrorKind::MissingFunction),
+            "{err:?}"
+        );
     }
 
     #[test]

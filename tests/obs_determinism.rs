@@ -1,0 +1,210 @@
+//! Determinism of the observability layer: obs **counters** must be
+//! identical at every thread count (each unit of work is counted exactly
+//! once, no matter which worker does it), and recording must never
+//! perturb any bit-identity-checked payload — the search index bits and
+//! the ASIX cache bytes are the same with the recorder on or off.
+//!
+//! Timings (histogram sums, span durations) are intentionally out of
+//! scope: only counts carry the invariant.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use asteria::core::{AsteriaModel, ModelConfig};
+use asteria::vulnsearch::{
+    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
+    vulnerability_library, FirmwareConfig, IndexCache, SearchIndex,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The obs collector is process-global, so tests that record must not
+/// overlap; each one holds this lock for its whole body.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// RAII for a recording session: serializes against other tests and
+/// always disables the recorder on the way out, even on panic.
+struct Recording {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Recording {
+    fn start() -> Recording {
+        let guard = OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        asteria::obs::install().reset();
+        Recording { _guard: guard }
+    }
+
+    fn collector(&self) -> &'static asteria::obs::Collector {
+        asteria::obs::install()
+    }
+}
+
+impl Drop for Recording {
+    fn drop(&mut self) {
+        asteria::obs::set_enabled(false);
+    }
+}
+
+fn fixture() -> (AsteriaModel, Vec<asteria::vulnsearch::FirmwareImage>) {
+    let model = AsteriaModel::new(ModelConfig {
+        hidden_dim: 12,
+        embed_dim: 8,
+        ..Default::default()
+    });
+    let firmware = build_firmware_corpus(
+        &FirmwareConfig {
+            images: 4,
+            ..Default::default()
+        },
+        &vulnerability_library(),
+    );
+    (model, firmware)
+}
+
+fn assert_index_identical(a: &SearchIndex, b: &SearchIndex, what: &str) {
+    assert_eq!(a.extraction, b.extraction, "extraction report: {what}");
+    assert_eq!(a.functions.len(), b.functions.len(), "length: {what}");
+    for (i, (x, y)) in a.functions.iter().zip(&b.functions).enumerate() {
+        assert_eq!(
+            (x.image, x.binary),
+            (y.image, y.binary),
+            "order @{i}: {what}"
+        );
+        assert_eq!(x.name, y.name, "name @{i}: {what}");
+        assert_eq!(x.ground_truth, y.ground_truth, "ground truth @{i}: {what}");
+        assert_eq!(
+            x.encoding.callee_count, y.encoding.callee_count,
+            "callee count @{i}: {what}"
+        );
+        let bits_x: Vec<u32> = x.encoding.vector.iter().map(|v| v.to_bits()).collect();
+        let bits_y: Vec<u32> = y.encoding.vector.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_x, bits_y, "encoding bits @{i}: {what}");
+    }
+}
+
+#[test]
+fn counters_are_identical_at_every_thread_count() {
+    let (model, firmware) = fixture();
+    let rec = Recording::start();
+    let collector = rec.collector();
+
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        collector.reset();
+        let index = build_search_index_threads(&model, &firmware, threads);
+        assert!(!index.is_empty());
+        let counters = collector.snapshot().counters;
+
+        // The corpus-wide tallies must be present and plausible…
+        let indexed = counters
+            .iter()
+            .find(|(k, _)| k.starts_with("asteria_functions_indexed_total"))
+            .map(|(_, v)| *v)
+            .expect("indexed counter present");
+        assert_eq!(indexed, index.len() as u64, "{threads} threads");
+        let encoded = counters
+            .iter()
+            .find(|(k, _)| k.starts_with("asteria_functions_encoded_total"))
+            .map(|(_, v)| *v)
+            .expect("encoded counter present");
+        assert!(encoded > 0, "{threads} threads");
+
+        // …and the *entire* counter map — per-arch decompile tallies,
+        // budget/outcome taxonomies, cache stats — must not depend on
+        // the worker count.
+        match &reference {
+            None => reference = Some(counters),
+            Some(want) => assert_eq!(
+                &counters, want,
+                "obs counters diverged at {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn span_structure_is_identical_at_every_thread_count() {
+    let (model, firmware) = fixture();
+    let rec = Recording::start();
+    let collector = rec.collector();
+
+    let mut reference = None;
+    for threads in THREAD_COUNTS {
+        collector.reset();
+        build_search_index_threads(&model, &firmware, threads);
+        // The multiset of (path, items) pairs is deterministic even
+        // though start times and interleavings are not.
+        let mut shape: Vec<(String, u64)> = collector
+            .finished_spans()
+            .into_iter()
+            .map(|s| (s.path, s.items))
+            .collect();
+        shape.sort();
+        assert!(
+            shape.iter().any(|(p, _)| p == "index-build"),
+            "missing root span at {threads} threads"
+        );
+        assert!(
+            shape.iter().any(|(p, _)| p == "index-build/encode-binary"),
+            "missing child span at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some(shape),
+            Some(want) => assert_eq!(&shape, want, "span structure diverged at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn recording_never_perturbs_index_bits() {
+    let (model, firmware) = fixture();
+    let rec = Recording::start();
+
+    asteria::obs::set_enabled(false);
+    let plain = build_search_index_threads(&model, &firmware, 4);
+    asteria::obs::set_enabled(true);
+    rec.collector().reset();
+    let traced = build_search_index_threads(&model, &firmware, 4);
+
+    assert_index_identical(&plain, &traced, "recorder on vs off");
+}
+
+#[test]
+fn asix_cache_bytes_are_identical_warm_vs_cold_with_tracing() {
+    let (model, firmware) = fixture();
+    let rec = Recording::start();
+    let collector = rec.collector();
+
+    // Cold build with the recorder on, then persist the cache.
+    let mut cold_cache = IndexCache::default();
+    let (cold_index, cold_stats) =
+        build_search_index_cached_threads(&model, &firmware, &mut cold_cache, 4);
+    assert!(cold_stats.misses > 0);
+    let mut cold_bytes = Vec::new();
+    cold_cache.save(&mut cold_bytes).expect("save cold");
+
+    // Warm rebuild from the reloaded cache, still recording: every
+    // binary must hit, the index must match bit for bit, and re-saving
+    // must reproduce the exact bytes — no timestamp, counter, or span
+    // id may leak into the ASIX payload.
+    collector.reset();
+    let mut warm_cache = IndexCache::load(cold_bytes.as_slice()).expect("load");
+    let (warm_index, warm_stats) =
+        build_search_index_cached_threads(&model, &firmware, &mut warm_cache, 4);
+    assert_eq!(warm_stats.misses, 0, "warm build re-encoded a binary");
+    assert_eq!(warm_stats.hits, cold_stats.misses);
+    assert_index_identical(&cold_index, &warm_index, "warm vs cold");
+
+    let mut warm_bytes = Vec::new();
+    warm_cache.save(&mut warm_bytes).expect("save warm");
+    assert_eq!(warm_bytes, cold_bytes, "ASIX bytes diverged while tracing");
+
+    // The recorder actually recorded during those builds.
+    let counters = collector.snapshot().counters;
+    assert!(
+        counters
+            .iter()
+            .any(|(k, v)| k.starts_with("asteria_cache_hits_total") && *v > 0),
+        "tracing was not active during the warm build"
+    );
+}

@@ -210,7 +210,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter_map gave up after 10000 rejections: {}", self.reason);
+        panic!(
+            "prop_filter_map gave up after 10000 rejections: {}",
+            self.reason
+        );
     }
 }
 
