@@ -45,6 +45,40 @@ impl Mutation {
     ];
 }
 
+/// The line-protocol corruption strategies [`Corruptor::corrupt_line`]
+/// cycles through — aimed at the `asteria serve` JSON wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineMutation {
+    /// Replace the whole line with random bytes (worst-case input).
+    Garbage,
+    /// Apply one of the binary [`Mutation`]s to the UTF-8 bytes.
+    ByteNoise,
+    /// Cut the line at a random byte.
+    Truncate,
+    /// Delete one structural JSON character (`{}[]":,`).
+    DropStructural,
+    /// Overwrite a random byte with a structural JSON character.
+    SwapStructural,
+    /// Wrap the line in dozens of nested arrays (depth-limit probe).
+    DeepNesting,
+    /// Splice in a malformed or lone-surrogate escape sequence.
+    BadEscape,
+}
+
+impl LineMutation {
+    /// All strategies, in the order [`Corruptor::corrupt_line`] draws
+    /// them.
+    pub const ALL: [LineMutation; 7] = [
+        LineMutation::Garbage,
+        LineMutation::ByteNoise,
+        LineMutation::Truncate,
+        LineMutation::DropStructural,
+        LineMutation::SwapStructural,
+        LineMutation::DeepNesting,
+        LineMutation::BadEscape,
+    ];
+}
+
 impl Corruptor {
     /// Creates a corruptor from a seed.
     pub fn new(seed: u64) -> Corruptor {
@@ -146,6 +180,73 @@ impl Corruptor {
         (0..len).map(|_| (self.next_u64() & 0xff) as u8).collect()
     }
 
+    /// Applies one randomly chosen [`LineMutation`] to a line-protocol
+    /// request (the `asteria serve` wire format) and reports which.
+    ///
+    /// The output never contains `\n` or `\r` — a corrupted *line* must
+    /// stay one line, otherwise the mutation would silently become two
+    /// protocol messages and the request/response accounting in the
+    /// fault-injection harness would break.
+    pub fn corrupt_line(&mut self, line: &str) -> (LineMutation, Vec<u8>) {
+        let m = LineMutation::ALL[self.below(LineMutation::ALL.len())];
+        let bytes = line.as_bytes();
+        let mut out = match m {
+            LineMutation::Garbage => {
+                let len = 1 + self.below(64);
+                self.random_stream(len)
+            }
+            LineMutation::ByteNoise => self.corrupt(bytes).1,
+            LineMutation::Truncate => self.truncate(bytes),
+            LineMutation::DropStructural => {
+                let mut v = bytes.to_vec();
+                let structural: Vec<usize> = v
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| matches!(b, b'{' | b'}' | b'[' | b']' | b'"' | b':' | b','))
+                    .map(|(i, _)| i)
+                    .collect();
+                if !structural.is_empty() {
+                    v.remove(structural[self.below(structural.len())]);
+                }
+                v
+            }
+            LineMutation::SwapStructural => {
+                let mut v = bytes.to_vec();
+                if !v.is_empty() {
+                    const PUNCT: [u8; 7] = [b'{', b'}', b'[', b']', b'"', b':', b','];
+                    let i = self.below(v.len());
+                    v[i] = PUNCT[self.below(PUNCT.len())];
+                }
+                v
+            }
+            LineMutation::DeepNesting => {
+                let depth = 16 + self.below(128);
+                let mut v = Vec::with_capacity(depth * 2 + bytes.len());
+                v.extend(std::iter::repeat_n(b'[', depth));
+                v.extend_from_slice(bytes);
+                v.extend(std::iter::repeat_n(b']', depth));
+                v
+            }
+            LineMutation::BadEscape => {
+                let mut v = bytes.to_vec();
+                let i = self.below(v.len() + 1);
+                let bad: &[u8] = match self.below(3) {
+                    0 => br"\u12",
+                    1 => br"\q",
+                    _ => br"\ud800",
+                };
+                v.splice(i..i, bad.iter().copied());
+                v
+            }
+        };
+        for b in &mut out {
+            if *b == b'\n' || *b == b'\r' {
+                *b = b' ';
+            }
+        }
+        (m, out)
+    }
+
     /// Applies one randomly chosen [`Mutation`] and reports which.
     pub fn corrupt(&mut self, bytes: &[u8]) -> (Mutation, Vec<u8>) {
         let m = Mutation::ALL[self.below(Mutation::ALL.len())];
@@ -222,5 +323,31 @@ mod tests {
             seen.insert(c.corrupt(SAMPLE).0);
         }
         assert_eq!(seen.len(), Mutation::ALL.len());
+    }
+
+    #[test]
+    fn line_corruptions_stay_single_line_and_cover_every_strategy() {
+        let request = r#"{"id":7,"op":"query","function":"f","source":"int f(int a){return a;}"}"#;
+        let mut c = Corruptor::new(23);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            let (m, out) = c.corrupt_line(request);
+            seen.insert(m);
+            assert!(
+                !out.contains(&b'\n') && !out.contains(&b'\r'),
+                "{m:?} produced a line break"
+            );
+        }
+        assert_eq!(seen.len(), LineMutation::ALL.len());
+    }
+
+    #[test]
+    fn line_corruption_is_deterministic_per_seed() {
+        let request = r#"{"id":1,"op":"ping"}"#;
+        let mut a = Corruptor::new(99);
+        let mut b = Corruptor::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.corrupt_line(request), b.corrupt_line(request));
+        }
     }
 }

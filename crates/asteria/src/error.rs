@@ -1,0 +1,115 @@
+//! The unified error type for the consolidated session API.
+//!
+//! The pipeline's layers each have a precise error enum — a failing
+//! query surfaces [`QueryError`], index persistence surfaces
+//! [`IndexError`], extraction surfaces [`DecompileError`] — but a caller
+//! driving the whole pipeline (the CLI, the serve daemon, an embedding
+//! application) wants to `?` through all of them and match one enum at
+//! the end. [`Error`] is that enum: every layer error converts `From`
+//! into it, and it implements [`std::error::Error`] with the layer error
+//! as its `source()`.
+
+use std::fmt;
+
+use asteria_decompiler::DecompileError;
+use asteria_vulnsearch::{IndexError, QueryError};
+
+/// Any error the Asteria pipeline can surface, unified for callers that
+/// drive multiple layers.
+///
+/// ```
+/// use asteria::Error;
+///
+/// fn drive() -> Result<(), Error> {
+///     // `?` works on Result<_, QueryError>, Result<_, IndexError>,
+///     // and Result<_, DecompileError> alike.
+///     Ok(())
+/// }
+/// # drive().unwrap();
+/// ```
+#[derive(Debug)]
+pub enum Error {
+    /// A query failed to encode (parse/compile/resolve/extract stages).
+    Query(QueryError),
+    /// Index persistence failed (ASIX I/O, corruption, checksums).
+    Index(IndexError),
+    /// Decompilation failed outside the resilient corpus path.
+    Decompile(DecompileError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Query(e) => write!(f, "{e}"),
+            Error::Index(e) => write!(f, "index: {e}"),
+            Error::Decompile(e) => write!(f, "decompile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Query(e) => Some(e),
+            Error::Index(e) => Some(e),
+            Error::Decompile(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Error {
+        Error::Query(e)
+    }
+}
+
+impl From<IndexError> for Error {
+    fn from(e: IndexError) -> Error {
+        Error::Index(e)
+    }
+}
+
+impl From<DecompileError> for Error {
+    fn from(e: DecompileError) -> Error {
+        Error::Decompile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asteria_vulnsearch::QueryErrorKind;
+    use std::error::Error as _;
+
+    fn query_error() -> QueryError {
+        QueryError {
+            cve: "CVE-1".into(),
+            function: "f".into(),
+            kind: QueryErrorKind::MissingFunction,
+        }
+    }
+
+    #[test]
+    fn question_mark_converts_every_layer_error() {
+        fn through_query() -> Result<(), Error> {
+            Err(query_error())?;
+            Ok(())
+        }
+        fn through_index() -> Result<(), Error> {
+            Err(IndexError::BadMagic)?;
+            Ok(())
+        }
+        assert!(matches!(through_query(), Err(Error::Query(_))));
+        assert!(matches!(through_index(), Err(Error::Index(_))));
+    }
+
+    #[test]
+    fn display_and_source_delegate_to_the_layer_error() {
+        let e = Error::from(query_error());
+        assert!(e.to_string().contains("CVE-1"), "{e}");
+        assert!(e.source().is_some());
+        let e = Error::from(IndexError::BadMagic);
+        assert!(e.to_string().starts_with("index: "), "{e}");
+        assert!(e.source().is_some());
+    }
+}

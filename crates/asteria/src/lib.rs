@@ -18,6 +18,7 @@
 //! | [`datasets`] | `asteria-datasets` | seeded corpora, cross-arch pair construction |
 //! | [`eval`] | `asteria-eval` | ROC/AUC/Youden metrics, CDFs, timing |
 //! | [`vulnsearch`] | `asteria-vulnsearch` | §V firmware vulnerability search |
+//! | [`serve`] | `asteria-serve` | online similarity-query server (batching, backpressure, graceful drain) |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod corrupt;
+pub mod error;
+
+pub use error::Error;
 
 pub use asteria_baselines as baselines;
 pub use asteria_bignum as bignum;
@@ -54,4 +58,5 @@ pub use asteria_exec as exec;
 pub use asteria_lang as lang;
 pub use asteria_nn as nn;
 pub use asteria_obs as obs;
+pub use asteria_serve as serve;
 pub use asteria_vulnsearch as vulnsearch;

@@ -11,14 +11,15 @@
 //! min-of-N, asserting the overhead stays under 3% and that recording
 //! never perturbs the index bits.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use asteria::compiler::Arch;
 use asteria::core::{AsteriaModel, ModelConfig};
 use asteria::exec::{resolve_threads, StageClock};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
-    encode_query, search_threads, vulnerability_library, FirmwareConfig, IndexCache, SearchIndex,
+    build_firmware_corpus, vulnerability_library, FirmwareConfig, IndexBuilder, IndexCache,
+    SearchIndex, SearchSession,
 };
 use asteria_bench::Scale;
 
@@ -75,7 +76,7 @@ fn main() {
         },
         &library,
     );
-    let model = AsteriaModel::new(ModelConfig::default());
+    let model = Arc::new(AsteriaModel::new(ModelConfig::default()));
     let total_functions: usize = firmware.iter().map(|i| i.function_count()).sum();
     asteria::obs::info!(
         "[bench_offline] {} images, {total_functions} functions, {cores} core(s), \
@@ -87,14 +88,19 @@ fn main() {
 
     // Offline phase: serial reference, then parallel.
     let t0 = Instant::now();
-    let serial_index = clock.time("offline-index(serial)", total_functions, 1, || {
-        build_search_index_threads(&model, &firmware, 1)
-    });
+    let build_at = |threads: usize| {
+        IndexBuilder::new(&model)
+            .threads(threads)
+            .build(&firmware)
+            .expect("in-memory build cannot fail")
+            .index
+    };
+    let serial_index = clock.time("offline-index(serial)", total_functions, 1, || build_at(1));
     let serial_offline = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
     let parallel_index = clock.time("offline-index(parallel)", total_functions, threads, || {
-        build_search_index_threads(&model, &firmware, threads)
+        build_at(threads)
     });
     let parallel_offline = t1.elapsed().as_secs_f64();
 
@@ -109,7 +115,11 @@ fn main() {
         "offline-index(cached,cold)",
         total_functions,
         threads,
-        || build_search_index_cached_threads(&model, &firmware, &mut cache, threads),
+        || {
+            IndexBuilder::new(&model)
+                .threads(threads)
+                .build_into(&firmware, &mut cache)
+        },
     );
     let index_cold = t_cold.elapsed().as_secs_f64();
 
@@ -118,7 +128,11 @@ fn main() {
         "offline-index(cached,warm)",
         total_functions,
         threads,
-        || build_search_index_cached_threads(&model, &firmware, &mut cache, threads),
+        || {
+            IndexBuilder::new(&model)
+                .threads(threads)
+                .build_into(&firmware, &mut cache)
+        },
     );
     let index_warm = t_warm.elapsed().as_secs_f64();
 
@@ -128,32 +142,34 @@ fn main() {
     let warm_speedup = index_cold / index_warm.max(1e-12);
 
     // Online phase: rank the whole index against every CVE, serial vs
-    // parallel, and require identical rankings.
+    // parallel, and require identical rankings. Each side is an online
+    // `SearchSession` over its index — the same object `asteria serve`
+    // answers from.
+    let serial_session = SearchSession::new(Arc::clone(&model), serial_index).threads(1);
+    let parallel_session = SearchSession::new(Arc::clone(&model), parallel_index).threads(threads);
     let queries: Vec<_> = library
         .iter()
-        .map(|e| encode_query(&model, e, Arch::X86).expect("library query encodes"))
+        .map(|e| {
+            serial_session
+                .encode_cve(e, Arch::X86)
+                .expect("library query encodes")
+        })
         .collect();
     let t2 = Instant::now();
-    let serial_hits: Vec<_> = queries
-        .iter()
-        .map(|q| search_threads(&model, &serial_index, q, 1))
-        .collect();
+    let serial_hits: Vec<_> = queries.iter().map(|q| serial_session.rank(q)).collect();
     let serial_online = t2.elapsed().as_secs_f64();
     clock.record(asteria::exec::StageStats {
         stage: "online-search(serial)".into(),
-        items: serial_index.len() * queries.len(),
+        items: serial_session.index().len() * queries.len(),
         threads: 1,
         seconds: serial_online,
     });
     let t3 = Instant::now();
-    let parallel_hits: Vec<_> = queries
-        .iter()
-        .map(|q| search_threads(&model, &parallel_index, q, threads))
-        .collect();
+    let parallel_hits: Vec<_> = queries.iter().map(|q| parallel_session.rank(q)).collect();
     let parallel_online = t3.elapsed().as_secs_f64();
     clock.record(asteria::exec::StageStats {
         stage: "online-search(parallel)".into(),
-        items: parallel_index.len() * queries.len(),
+        items: parallel_session.index().len() * queries.len(),
         threads,
         seconds: parallel_online,
     });
@@ -186,14 +202,14 @@ fn main() {
         let t_on = Instant::now();
         let mut traced_index = None;
         for _ in 0..reps {
-            traced_index = Some(build_search_index_threads(&model, &firmware, threads));
+            traced_index = Some(build_at(threads));
         }
         obs_enabled_seconds = obs_enabled_seconds.min(t_on.elapsed().as_secs_f64() / reps as f64);
         asteria::obs::set_enabled(false);
         let t_off = Instant::now();
         let mut plain_index = None;
         for _ in 0..reps {
-            plain_index = Some(build_search_index_threads(&model, &firmware, threads));
+            plain_index = Some(build_at(threads));
         }
         obs_disabled_seconds =
             obs_disabled_seconds.min(t_off.elapsed().as_secs_f64() / reps as f64);
@@ -253,7 +269,7 @@ fn main() {
          \"bit_identical_rankings\": {rankings_identical}\n}}\n",
         firmware.len(),
         total_functions,
-        serial_index.len(),
+        serial_session.index().len(),
         cold_stats.misses,
         warm_stats.hits,
         warm_stats.misses,

@@ -2,14 +2,15 @@
 //! firmware corpus, thresholded at the Youden-index operating point, with
 //! Asteria-vs-Gemini top-10 accuracy and end-to-end timing.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use asteria::baselines::{extract_acfg, GeminiModel};
 use asteria::compiler::Arch;
 use asteria::eval::{auc, youden_threshold};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index, run_search, top_k_accuracy, vulnerability_library,
-    FirmwareConfig,
+    build_firmware_corpus, top_k_accuracy, vulnerability_library, FirmwareConfig, IndexBuilder,
+    SearchSession,
 };
 use asteria_bench::{Experiment, Scale};
 
@@ -51,17 +52,13 @@ fn main() {
     let threads = asteria::exec::thread_count();
     asteria::obs::info!("[table4] offline/online phases on {threads} worker thread(s)");
     let t0 = Instant::now();
-    let index = build_search_index(&exp.asteria, &firmware);
+    let build = IndexBuilder::new(&exp.asteria)
+        .build(&firmware)
+        .expect("in-memory build cannot fail");
     let offline = t0.elapsed().as_secs_f64();
+    let session = SearchSession::new(Arc::clone(&exp.asteria), build.index);
     let t1 = Instant::now();
-    let results = match run_search(
-        &exp.asteria,
-        &index,
-        &firmware,
-        &library,
-        threshold,
-        Arch::X86,
-    ) {
+    let results = match session.run(&firmware, &library, threshold, Arch::X86) {
         Ok(r) => r,
         Err(e) => {
             asteria::obs::warn!("[table4] error: {e}");
@@ -101,7 +98,7 @@ fn main() {
     println!(
         "total confirmed vulnerable functions: {total_confirmed} \
          (offline encode {offline:.1}s for {} functions, search {online:.2}s for 7 CVEs)",
-        index.len()
+        session.index().len()
     );
 
     // ---- §V end-to-end comparison vs Gemini -------------------------------

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use asteria::baselines::{extract_acfg, train_gemini, Acfg, GeminiConfig, GeminiModel};
 use asteria::core::{calibrated_similarity, train, AsteriaModel, ModelConfig, TrainOptions};
 use asteria::datasets::{
@@ -122,8 +124,8 @@ pub struct Experiment {
     pub train_set: PairSet,
     /// Held-out pairs (20%).
     pub test_set: PairSet,
-    /// Trained Asteria model.
-    pub asteria: AsteriaModel,
+    /// Trained Asteria model, shared so search sessions can hold it.
+    pub asteria: Arc<AsteriaModel>,
     /// Trained Gemini model.
     pub gemini: GeminiModel,
     /// ACFGs for every corpus instance (aligned with `corpus.instances`).
@@ -231,7 +233,7 @@ impl Experiment {
             corpus,
             train_set,
             test_set,
-            asteria,
+            asteria: Arc::new(asteria),
             gemini,
             acfgs,
         }

@@ -11,10 +11,14 @@
 //! asteria-cli similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]
 //! asteria-cli index build -o <index.asix> [--model model.bin] [--images N] [--seed S] [--threads N]
 //! asteria-cli index info  <index.asix>
+//! asteria-cli serve     --listen ADDR | --stdio [--model M] [--index I.asix] [--images N] [--seed S]
 //! ```
 
 use std::fs;
+use std::io::Write as _;
+use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use asteria::compiler::{compile_program, decode_function, Arch, Binary, SymbolKind, Vm};
 use asteria::core::{
@@ -23,9 +27,10 @@ use asteria::core::{
 };
 use asteria::datasets::{build_corpus, build_pairs, to_train_pairs, CorpusConfig, PairConfig};
 use asteria::decompiler::{decompile_function, render_function};
+use asteria::serve::{self, ServeConfig};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_cached_threads, vulnerability_library,
-    FirmwareConfig, IndexCache, ASIX_VERSION,
+    build_firmware_corpus, vulnerability_library, FirmwareConfig, IndexBuilder, IndexCache,
+    SearchSession, ASIX_VERSION,
 };
 
 /// A CLI failure, split by who got it wrong: the invocation (exit code
@@ -74,33 +79,33 @@ impl GlobalFlags {
 
 /// Strips the global flags out of the raw argument list (they may appear
 /// anywhere) so the per-command positional parsing never sees them.
-fn extract_global_flags(args: Vec<String>) -> Result<(GlobalFlags, Vec<String>), CliError> {
+///
+/// Returns the flags parsed so far even on a usage error, so the one
+/// teardown path can still flush whatever artifacts *were* requested.
+fn extract_global_flags(args: Vec<String>) -> (GlobalFlags, Vec<String>, Option<CliError>) {
     let mut flags = GlobalFlags {
         trace: None,
         metrics_out: None,
     };
     let mut rest = Vec::with_capacity(args.len());
+    let mut err = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quiet" => asteria::obs::set_verbosity(asteria::obs::Verbosity::Quiet),
             "--verbose" => asteria::obs::set_verbosity(asteria::obs::Verbosity::Verbose),
-            "--trace" => {
-                flags.trace = Some(
-                    it.next()
-                        .ok_or_else(|| CliError::usage("missing --trace FILE"))?,
-                );
-            }
-            "--metrics-out" => {
-                flags.metrics_out = Some(
-                    it.next()
-                        .ok_or_else(|| CliError::usage("missing --metrics-out FILE"))?,
-                );
-            }
+            "--trace" => match it.next() {
+                Some(v) => flags.trace = Some(v),
+                None => err = err.or_else(|| Some(CliError::usage("missing --trace FILE"))),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => flags.metrics_out = Some(v),
+                None => err = err.or_else(|| Some(CliError::usage("missing --metrics-out FILE"))),
+            },
             _ => rest.push(a),
         }
     }
-    Ok((flags, rest))
+    (flags, rest, err)
 }
 
 /// Writes the requested observability artifacts from the global
@@ -124,17 +129,27 @@ fn write_obs_outputs(flags: &GlobalFlags) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (flags, args) = match extract_global_flags(raw) {
-        Ok(v) => v,
-        Err(CliError::Usage(e)) | Err(CliError::Data(e)) => {
-            eprintln!("usage error: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let (flags, args, flag_err) = extract_global_flags(raw);
     if flags.wants_recording() {
         asteria::obs::install().reset();
     }
-    let result = match args.first().map(String::as_str) {
+    let result = match flag_err {
+        Some(e) => Err(e),
+        None => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(&args))) {
+            Ok(result) => result,
+            Err(payload) => {
+                // A panic exits through the same teardown as every other
+                // path: flush whatever was recorded, then re-raise.
+                let _ = write_obs_outputs(&flags);
+                std::panic::resume_unwind(payload);
+            }
+        },
+    };
+    teardown(&flags, result)
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
@@ -144,6 +159,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("similarity") => cmd_similarity(&args[1..]),
         Some("index") => cmd_index(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -151,10 +167,15 @@ fn main() -> ExitCode {
         Some(other) => Err(CliError::usage(format!(
             "unknown command `{other}` (try `asteria-cli help`)"
         ))),
-    };
-    // Artifacts are written even when the command failed — a partial
-    // trace is exactly what a failure post-mortem needs.
-    let wrote = write_obs_outputs(&flags);
+    }
+}
+
+/// The single exit path: every outcome — success, data error, usage
+/// error, even a bad global flag — flushes `--metrics-out`/`--trace`
+/// before the exit code is chosen. A partial trace is exactly what a
+/// failure post-mortem needs.
+fn teardown(flags: &GlobalFlags, result: Result<(), CliError>) -> ExitCode {
+    let wrote = write_obs_outputs(flags);
     match (result, wrote) {
         (Ok(()), Ok(())) => ExitCode::SUCCESS,
         (Ok(()), Err(e)) | (Err(CliError::Data(e)), _) => {
@@ -181,7 +202,10 @@ fn print_usage() {
          \x20 train     -o <model.bin> [--packages N] [--epochs E]\n\
          \x20 similarity <a.sbf>:<func> <b.sbf>:<func> [--model model.bin]\n\
          \x20 index build -o <index.asix> [--model model.bin] [--images N] [--seed S] [--threads N]\n\
-         \x20 index info  <index.asix>\n\n\
+         \x20 index info  <index.asix>\n\
+         \x20 serve     --listen ADDR | --stdio [--model M] [--index I.asix] [--images N] [--seed S]\n\
+         \x20           [--threads N] [--batch-size N] [--batch-wait-ms MS] [--queue-capacity N]\n\
+         \x20           [--deadline-ms MS] [--max-request-bytes N]\n\n\
          global flags (any command):\n\
          \x20 --quiet | --verbose      stderr verbosity\n\
          \x20 --metrics-out FILE       write Prometheus-style metrics\n\
@@ -449,19 +473,6 @@ fn cmd_index_build(args: &[String]) -> Result<(), CliError> {
         .map_err(|_| CliError::usage("bad --threads"))?;
     let model = load_model(opt_value(args, "--model"))?;
 
-    // An existing index at the output path seeds the incremental build;
-    // a corrupt one costs a cold rebuild, never the run.
-    let mut cache = match fs::read(out) {
-        Ok(bytes) => match IndexCache::load(bytes.as_slice()) {
-            Ok(cache) => cache,
-            Err(e) => {
-                asteria::obs::warn!("warning: ignoring unusable index cache at {out}: {e}");
-                IndexCache::default()
-            }
-        },
-        Err(_) => IndexCache::default(),
-    };
-
     let firmware = build_firmware_corpus(
         &FirmwareConfig {
             images,
@@ -470,21 +481,25 @@ fn cmd_index_build(args: &[String]) -> Result<(), CliError> {
         },
         &vulnerability_library(),
     );
-    let (index, stats) = build_search_index_cached_threads(&model, &firmware, &mut cache, threads);
-    let mut buf = Vec::new();
-    cache.save(&mut buf).map_err(|e| e.to_string())?;
-    fs::write(out, buf).map_err(|e| format!("{out}: {e}"))?;
+    // `.cache(out)` seeds the incremental build from an existing index at
+    // the output path (a corrupt one costs a cold rebuild, never the
+    // run) and persists the refreshed cache back when the build is done.
+    let build = IndexBuilder::new(&model)
+        .threads(threads)
+        .cache(out)
+        .build(&firmware)
+        .map_err(|e| e.to_string())?;
     println!(
         "indexed {} functions from {} images ({})",
-        index.len(),
+        build.index.len(),
         firmware.len(),
-        index.extraction
+        build.index.extraction
     );
-    println!("embedding cache: {stats}");
+    println!("embedding cache: {}", build.stats);
     println!(
         "wrote {out}: {} cached binaries, {} cached functions",
-        cache.len(),
-        cache.function_count()
+        build.cache.len(),
+        build.cache.function_count()
     );
     Ok(())
 }
@@ -560,6 +575,98 @@ fn cmd_similarity(args: &[String]) -> Result<(), CliError> {
     println!(
         "calibrated similarity F(F1,F2) = {f:.4}  (callees {} vs {})",
         fa.callee_count, fb.callee_count
+    );
+    Ok(())
+}
+
+/// Parses a numeric `--flag N`, falling back to `default` when absent.
+fn num_opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
+    match opt_value(args, flag) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad {flag}: {v}"))),
+        None => Ok(default),
+    }
+}
+
+/// `serve`: the long-running similarity-query daemon. Loads the model
+/// and builds (or restores, with `--index`) the search index **once**,
+/// then answers line-delimited JSON queries over TCP (`--listen ADDR`)
+/// or stdin/stdout (`--stdio`) until EOF, a `shutdown` op, or
+/// SIGINT/SIGTERM — at which point it drains in-flight requests before
+/// exiting, so the usual teardown still flushes `--metrics-out`/`--trace`.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let stdio = args.iter().any(|a| a == "--stdio");
+    let listen = opt_value(args, "--listen");
+    if stdio == listen.is_some() {
+        return Err(CliError::usage(
+            "serve needs exactly one of --listen ADDR or --stdio",
+        ));
+    }
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        batch_size: num_opt(args, "--batch-size", defaults.batch_size)?,
+        batch_wait_ms: num_opt(args, "--batch-wait-ms", defaults.batch_wait_ms)?,
+        queue_capacity: num_opt(args, "--queue-capacity", defaults.queue_capacity)?,
+        default_deadline_ms: num_opt(args, "--deadline-ms", defaults.default_deadline_ms)?,
+        max_request_bytes: num_opt(args, "--max-request-bytes", defaults.max_request_bytes)?,
+        // Undocumented test/bench knob: pad per-batch latency to force
+        // queueing so backpressure paths can be exercised deterministically.
+        process_delay_ms: num_opt(args, "--process-delay-ms", defaults.process_delay_ms)?,
+    };
+    let images: usize = num_opt(args, "--images", 6)?;
+    let seed: u64 = num_opt(args, "--seed", 77)?;
+    let threads: usize = num_opt(args, "--threads", 0)?;
+
+    let model = load_model(opt_value(args, "--model"))?;
+    let firmware = build_firmware_corpus(
+        &FirmwareConfig {
+            images,
+            seed,
+            ..Default::default()
+        },
+        &vulnerability_library(),
+    );
+    let mut builder = IndexBuilder::new(&model).threads(threads);
+    if let Some(path) = opt_value(args, "--index") {
+        builder = builder.cache(path);
+    }
+    let build = builder.build(&firmware).map_err(|e| e.to_string())?;
+    asteria::obs::info!(
+        "index ready: {} functions from {} images ({})",
+        build.index.len(),
+        firmware.len(),
+        build.stats
+    );
+    let session = Arc::new(SearchSession::new(model, build.index).threads(threads));
+
+    serve::signal::install_handlers();
+    let stats = if stdio {
+        // Responses own stdout in stdio mode; status goes to stderr.
+        serve::run_stdio(session, config, std::io::stdin().lock(), std::io::stdout())
+    } else {
+        let addr = listen.expect("checked above");
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let handle = serve::start_tcp(session, config, listener).map_err(|e| e.to_string())?;
+        // Announce the bound address on stdout (and flush past any block
+        // buffering) so `--listen 127.0.0.1:0` callers can discover the
+        // kernel-assigned port.
+        println!("listening on {}", handle.local_addr());
+        let _ = std::io::stdout().flush();
+        handle.wait()
+    };
+    asteria::obs::info!(
+        "serve: {} responses ({} ok, {} query errors, {} malformed, {} oversized, \
+         {} overloaded, {} deadline exceeded, {} refused in shutdown)",
+        stats.total(),
+        stats.ok,
+        stats.query_errors,
+        stats.malformed,
+        stats.oversized,
+        stats.overloaded,
+        stats.deadline_exceeded,
+        stats.shutting_down
     );
     Ok(())
 }

@@ -1,0 +1,883 @@
+//! `asteria-serve` — the online similarity-query server.
+//!
+//! A long-running daemon that loads the model and the search index
+//! **once** (into an [`SearchSession`]) and then answers a stream of
+//! queries over a line-delimited JSON protocol — the deployment shape of
+//! real BCSD services, where per-query process startup (model restore +
+//! index build) would dwarf the query itself.
+//!
+//! Std-only by design, like `asteria-obs`: the protocol ([`proto`]),
+//! its JSON support ([`json`]), the bounded backpressure queue
+//! ([`queue`]), and the SIGINT/SIGTERM shim ([`signal`]) are all in this
+//! crate.
+//!
+//! # Architecture
+//!
+//! ```text
+//! TCP clients ──► per-conn reader ──try_push──► BoundedQueue ──► batcher ──► SearchSession::query_batch
+//!                     │                  (full → overloaded)        │
+//!                     └◄── per-conn writer ◄── mpsc<String> ◄───────┘
+//! ```
+//!
+//! - **Batching**: the single batcher thread pops up to
+//!   [`ServeConfig::batch_size`] requests, dwelling up to
+//!   [`ServeConfig::batch_wait_ms`] so bursts coalesce, and answers them
+//!   with one [`SearchSession::query_batch`] call (which deduplicates
+//!   identical in-flight queries — the hot-query win).
+//! - **Backpressure**: the queue is bounded; a full queue yields an
+//!   immediate typed `overloaded` error instead of unbounded growth.
+//! - **Deadlines**: each request may carry `deadline_ms`; requests whose
+//!   deadline passed while queued get `deadline_exceeded` instead of
+//!   burning encode time.
+//! - **Graceful shutdown**: SIGTERM/ctrl-c (or the `shutdown` op, or
+//!   stdio EOF) stops intake, drains every accepted request, flushes
+//!   every response, then returns — zero lost responses.
+//! - **Determinism**: responses are bit-identical to direct
+//!   [`SearchSession`] calls; scores travel as shortest-roundtrip JSON
+//!   numbers, so parsing them back yields the exact bits.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod signal;
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use asteria_vulnsearch::{FunctionQuery, SearchSession};
+
+use json::Json;
+use proto::{ErrorKind, ParseFailure, Request};
+use queue::{BoundedQueue, PushError};
+
+/// Histogram buckets for the per-batch size distribution.
+const BATCH_SIZE_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// How often blocked reads/accepts wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server tunables. `Default` gives the production settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum queries answered by one `query_batch` call.
+    pub batch_size: usize,
+    /// How long the batcher dwells (ms) after the first query of a batch
+    /// to let the batch fill. `0` disables batching delay.
+    pub batch_wait_ms: u64,
+    /// Bound of the request queue — the backpressure point.
+    pub queue_capacity: usize,
+    /// Default relative deadline (ms) for requests that carry none;
+    /// `0` means no default deadline.
+    pub default_deadline_ms: u64,
+    /// Maximum accepted request-line length in bytes; longer lines get a
+    /// typed `oversized` error and are discarded without buffering.
+    pub max_request_bytes: usize,
+    /// Artificial processing delay per batch (ms) — a test/bench knob
+    /// that makes queue saturation and drain behavior reproducible.
+    /// Always `0` in production use.
+    pub process_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_size: 16,
+            batch_wait_ms: 5,
+            queue_capacity: 256,
+            default_deadline_ms: 0,
+            max_request_bytes: 1 << 20,
+            process_delay_ms: 0,
+        }
+    }
+}
+
+/// Final tallies of a server's lifetime, by response outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Successful query responses.
+    pub ok: u64,
+    /// Typed `query` errors (the query source failed to encode).
+    pub query_errors: u64,
+    /// Malformed request lines.
+    pub malformed: u64,
+    /// Request lines over `max_request_bytes`.
+    pub oversized: u64,
+    /// Requests rejected by backpressure.
+    pub overloaded: u64,
+    /// Requests whose deadline passed while queued.
+    pub deadline_exceeded: u64,
+    /// Requests rejected because the server was draining.
+    pub shutting_down: u64,
+}
+
+impl ServeStats {
+    /// Total responses sent (every accepted request gets exactly one).
+    pub fn total(&self) -> u64 {
+        self.ok
+            + self.query_errors
+            + self.malformed
+            + self.oversized
+            + self.overloaded
+            + self.deadline_exceeded
+            + self.shutting_down
+    }
+}
+
+/// One enqueued query awaiting the batcher.
+struct Pending {
+    id: Json,
+    query: FunctionQuery,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by the accept loop, connection threads, and the batcher.
+struct Shared {
+    session: Arc<SearchSession>,
+    config: ServeConfig,
+    queue: BoundedQueue<Pending>,
+    stopping: AtomicBool,
+    ok: AtomicU64,
+    query_errors: AtomicU64,
+    malformed: AtomicU64,
+    oversized: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shutting_down: AtomicU64,
+}
+
+impl Shared {
+    fn new(session: Arc<SearchSession>, config: ServeConfig) -> Shared {
+        Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            session,
+            config,
+            stopping: AtomicBool::new(false),
+            ok: AtomicU64::new(0),
+            query_errors: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            shutting_down: AtomicU64::new(0),
+        }
+    }
+
+    /// True when this server (or the process, via signal) is draining.
+    fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    /// Stops intake: new requests are refused, the queue drains.
+    fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            ok: self.ok.load(Ordering::SeqCst),
+            query_errors: self.query_errors.load(Ordering::SeqCst),
+            malformed: self.malformed.load(Ordering::SeqCst),
+            oversized: self.oversized.load(Ordering::SeqCst),
+            overloaded: self.overloaded.load(Ordering::SeqCst),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::SeqCst),
+            shutting_down: self.shutting_down.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Counts one response by outcome, in both the obs counter and the
+    /// final stats.
+    fn record(&self, outcome: &'static str) {
+        let cell = match outcome {
+            "ok" => &self.ok,
+            "query" => &self.query_errors,
+            "malformed" => &self.malformed,
+            "oversized" => &self.oversized,
+            "overloaded" => &self.overloaded,
+            "deadline_exceeded" => &self.deadline_exceeded,
+            _ => &self.shutting_down,
+        };
+        cell.fetch_add(1, Ordering::SeqCst);
+        if asteria_obs::enabled() {
+            asteria_obs::counter_add("asteria_serve_requests_total", &[("outcome", outcome)], 1);
+        }
+    }
+
+    fn set_queue_gauge(&self, depth: usize) {
+        if asteria_obs::enabled() {
+            asteria_obs::gauge_set("asteria_serve_queue_depth", &[], depth as f64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded line reader
+// ---------------------------------------------------------------------------
+
+/// What one read step produced.
+enum LineEvent {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// A line exceeded the byte cap; it was discarded without buffering.
+    Oversized,
+    /// The read timed out — poll the shutdown flag and retry.
+    TimedOut,
+    /// End of stream (any final unterminated line was already returned).
+    Eof,
+    /// The connection broke.
+    Error,
+}
+
+/// Reads `\n`-delimited lines with a hard byte cap: an over-long line is
+/// dropped as it streams in (never buffered whole) and reported once as
+/// [`LineEvent::Oversized`] when its terminator arrives.
+struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    max: usize,
+    discarding: bool,
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R, max: usize) -> LineReader<R> {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            max: max.max(1),
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    fn next_event(&mut self) -> LineEvent {
+        loop {
+            // Serve a complete line out of the buffer first.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                if self.discarding || line.len() - 1 > self.max {
+                    self.discarding = false;
+                    return LineEvent::Oversized;
+                }
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                return LineEvent::Line(text.trim_end_matches('\r').to_string());
+            }
+            if self.discarding {
+                // Everything buffered belongs to the over-long line.
+                self.buf.clear();
+            } else if self.buf.len() > self.max {
+                self.buf.clear();
+                self.discarding = true;
+            }
+            if self.eof {
+                if self.discarding {
+                    self.discarding = false;
+                    return LineEvent::Oversized;
+                }
+                if self.buf.is_empty() {
+                    return LineEvent::Eof;
+                }
+                // Final unterminated line.
+                let text = String::from_utf8_lossy(&self.buf).to_string();
+                self.buf.clear();
+                return LineEvent::Line(text);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return LineEvent::TimedOut;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return LineEvent::Error,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+/// Handles one request line: control ops answer inline, queries enqueue.
+fn process_line(shared: &Shared, line: &str, reply: &mpsc::Sender<String>) {
+    if line.trim().is_empty() {
+        return;
+    }
+    let (id, request) = match proto::parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(ParseFailure { id, message }) => {
+            shared.record("malformed");
+            let _ = reply.send(proto::error_response(&id, ErrorKind::Malformed, &message));
+            return;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let _ = reply.send(proto::ok_response(
+                &id,
+                Json::Object(vec![("pong".into(), Json::Bool(true))]),
+            ));
+        }
+        Request::Stats => {
+            let stats = shared.stats();
+            let _ = reply.send(proto::ok_response(
+                &id,
+                Json::Object(vec![
+                    ("functions".into(), Json::from(shared.session.index().len())),
+                    ("queue_depth".into(), Json::from(shared.queue.len())),
+                    ("served".into(), Json::from(stats.total())),
+                    ("ok".into(), Json::from(stats.ok)),
+                ]),
+            ));
+        }
+        Request::Shutdown => {
+            let _ = reply.send(proto::ok_response(
+                &id,
+                Json::Object(vec![("stopping".into(), Json::Bool(true))]),
+            ));
+            shared.begin_shutdown();
+        }
+        Request::Query(qr) => {
+            if shared.is_stopping() {
+                shared.record("shutting_down");
+                let _ = reply.send(proto::error_response(
+                    &id,
+                    ErrorKind::ShuttingDown,
+                    "server is draining",
+                ));
+                return;
+            }
+            let now = Instant::now();
+            let deadline_ms = qr.deadline_ms.unwrap_or(shared.config.default_deadline_ms);
+            let deadline = match (qr.deadline_ms, shared.config.default_deadline_ms) {
+                (None, 0) => None,
+                _ => Some(now + Duration::from_millis(deadline_ms)),
+            };
+            let pending = Pending {
+                id,
+                query: qr.query,
+                deadline,
+                enqueued: now,
+                reply: reply.clone(),
+            };
+            match shared.queue.try_push(pending) {
+                Ok(depth) => shared.set_queue_gauge(depth),
+                Err(PushError::Full(p)) => {
+                    shared.record("overloaded");
+                    let _ = p.reply.send(proto::error_response(
+                        &p.id,
+                        ErrorKind::Overloaded,
+                        "request queue is full",
+                    ));
+                }
+                Err(PushError::Closed(p)) => {
+                    shared.record("shutting_down");
+                    let _ = p.reply.send(proto::error_response(
+                        &p.id,
+                        ErrorKind::ShuttingDown,
+                        "server is draining",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The batcher: pops batches until the queue is closed **and** drained,
+/// so every accepted request is answered even during shutdown.
+fn run_batcher(shared: &Shared) {
+    let dwell = Duration::from_millis(shared.config.batch_wait_ms);
+    while let Some(batch) = shared.queue.pop_batch(shared.config.batch_size, dwell) {
+        shared.set_queue_gauge(shared.queue.len());
+        if shared.config.process_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.config.process_delay_ms));
+        }
+        let mut span = asteria_obs::span("serve-batch");
+        span.set_items(batch.len() as u64);
+        // Expired deadlines answer immediately without encode cost. The
+        // check uses `now >= deadline` so `deadline_ms: 0` expires
+        // deterministically.
+        let now = Instant::now();
+        let (live, expired): (Vec<Pending>, Vec<Pending>) = batch
+            .into_iter()
+            .partition(|p| p.deadline.is_none_or(|d| now < d));
+        for p in expired {
+            shared.record("deadline_exceeded");
+            let _ = p.reply.send(proto::error_response(
+                &p.id,
+                ErrorKind::DeadlineExceeded,
+                "deadline passed while queued",
+            ));
+            if asteria_obs::enabled() {
+                asteria_obs::observe_seconds(
+                    "asteria_serve_request_seconds",
+                    &[("outcome", "deadline_exceeded")],
+                    p.enqueued.elapsed().as_secs_f64(),
+                );
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        if asteria_obs::enabled() {
+            asteria_obs::observe_with_buckets(
+                "asteria_serve_batch_size",
+                &[],
+                live.len() as f64,
+                BATCH_SIZE_BUCKETS,
+            );
+        }
+        let queries: Vec<FunctionQuery> = live.iter().map(|p| p.query.clone()).collect();
+        let answers = shared.session.query_batch(&queries);
+        for (p, answer) in live.into_iter().zip(answers) {
+            let (outcome, response) = match answer {
+                Ok(result) => (
+                    "ok",
+                    proto::ok_response(
+                        &p.id,
+                        proto::render_outcome(&result, shared.session.index()),
+                    ),
+                ),
+                Err(e) => ("query", proto::query_error_response(&p.id, &e)),
+            };
+            shared.record(outcome);
+            let _ = p.reply.send(response);
+            if asteria_obs::enabled() {
+                asteria_obs::observe_seconds(
+                    "asteria_serve_request_seconds",
+                    &[("outcome", outcome)],
+                    p.enqueued.elapsed().as_secs_f64(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP server
+// ---------------------------------------------------------------------------
+
+/// Handle to a running TCP server: address discovery plus shutdown/join.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a graceful shutdown, drains in-flight requests, waits
+    /// for every response to flush, and returns the final tallies.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shared.begin_shutdown();
+        self.join()
+    }
+
+    /// Waits until the server stops on its own (signal or `shutdown`
+    /// op), then returns the final tallies.
+    pub fn wait(mut self) -> ServeStats {
+        self.join()
+    }
+
+    fn join(&mut self) -> ServeStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        self.shared.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Starts the server on an already-bound listener. Returns immediately;
+/// the returned handle joins everything on [`ServerHandle::shutdown`] /
+/// [`ServerHandle::wait`] (or on drop).
+///
+/// # Errors
+///
+/// Only listener configuration (`set_nonblocking`, `local_addr`) can
+/// fail here.
+pub fn start_tcp(
+    session: Arc<SearchSession>,
+    config: ServeConfig,
+    listener: TcpListener,
+) -> io::Result<ServerHandle> {
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared::new(session, config));
+
+    let batcher = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || run_batcher(&shared)
+    });
+
+    let accept = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                if shared.is_stopping() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if asteria_obs::enabled() {
+                            asteria_obs::counter_add("asteria_serve_connections_total", &[], 1);
+                        }
+                        let shared = Arc::clone(&shared);
+                        conns.push(std::thread::spawn(move || {
+                            handle_connection(&shared, stream);
+                        }));
+                        // Opportunistically reap finished connections so
+                        // a long-lived server does not accumulate
+                        // JoinHandles.
+                        conns.retain(|h| !h.is_finished());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            // Drain: the queue is closed by whoever initiated shutdown;
+            // wait for every connection to flush its responses.
+            shared.begin_shutdown();
+            for h in conns {
+                let _ = h.join();
+            }
+        }
+    });
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept: Some(accept),
+        batcher: Some(batcher),
+    })
+}
+
+/// One TCP connection: a polling reader (this thread) plus a writer
+/// thread fed by an mpsc channel. The writer exits when every sender —
+/// the reader and all of its in-flight [`Pending`] entries — is gone and
+/// the channel is drained, which is exactly the zero-lost-responses
+/// guarantee.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = io::BufWriter::new(write_half);
+        for line in rx {
+            if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                break;
+            }
+            let _ = out.flush();
+        }
+    });
+    let mut reader = LineReader::new(stream, shared.config.max_request_bytes);
+    loop {
+        match reader.next_event() {
+            LineEvent::Line(line) => process_line(shared, &line, &tx),
+            LineEvent::Oversized => {
+                shared.record("oversized");
+                let _ = tx.send(proto::error_response(
+                    &Json::Null,
+                    ErrorKind::Oversized,
+                    "request line exceeds max_request_bytes",
+                ));
+            }
+            LineEvent::TimedOut => {
+                if shared.is_stopping() {
+                    break;
+                }
+            }
+            LineEvent::Eof | LineEvent::Error => break,
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Stdio server
+// ---------------------------------------------------------------------------
+
+/// Runs the server over an arbitrary byte stream pair (the `--stdio`
+/// mode): same protocol, same batching queue, same drain guarantees as
+/// TCP. Returns when the input reaches EOF or a shutdown is requested,
+/// after every response has been written.
+pub fn run_stdio<R: Read, W: Write + Send>(
+    session: Arc<SearchSession>,
+    config: ServeConfig,
+    input: R,
+    output: W,
+) -> ServeStats {
+    let shared = Shared::new(session, config);
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::scope(|scope| {
+        scope.spawn(|| run_batcher(&shared));
+        scope.spawn(move || {
+            let mut out = io::BufWriter::new(output);
+            for line in rx {
+                if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                    break;
+                }
+                let _ = out.flush();
+            }
+        });
+        let mut reader = LineReader::new(input, shared.config.max_request_bytes);
+        loop {
+            if shared.is_stopping() {
+                break;
+            }
+            match reader.next_event() {
+                LineEvent::Line(line) => process_line(&shared, &line, &tx),
+                LineEvent::Oversized => {
+                    shared.record("oversized");
+                    let _ = tx.send(proto::error_response(
+                        &Json::Null,
+                        ErrorKind::Oversized,
+                        "request line exceeds max_request_bytes",
+                    ));
+                }
+                LineEvent::TimedOut => {}
+                LineEvent::Eof | LineEvent::Error => break,
+            }
+        }
+        shared.begin_shutdown();
+        drop(tx);
+    });
+    shared.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asteria_core::{AsteriaModel, ModelConfig};
+    use asteria_vulnsearch::{
+        build_firmware_corpus, vulnerability_library, FirmwareConfig, IndexBuilder,
+    };
+
+    fn test_session() -> Arc<SearchSession> {
+        let model = AsteriaModel::new(ModelConfig {
+            hidden_dim: 8,
+            embed_dim: 6,
+            ..Default::default()
+        });
+        let firmware = build_firmware_corpus(
+            &FirmwareConfig {
+                images: 2,
+                ..Default::default()
+            },
+            &vulnerability_library(),
+        );
+        let index = IndexBuilder::new(&model)
+            .threads(1)
+            .build(&firmware)
+            .expect("in-memory build")
+            .index;
+        Arc::new(SearchSession::new(model, index).threads(1))
+    }
+
+    fn query_line(id: u32, entry: &asteria_vulnsearch::CveEntry) -> String {
+        Json::Object(vec![
+            ("id".into(), Json::from(id as u64)),
+            ("op".into(), Json::from("query")),
+            (
+                "source".into(),
+                Json::from(entry.vulnerable_source.as_str()),
+            ),
+            ("function".into(), Json::from(entry.function)),
+            ("arch".into(), Json::from("arm")),
+            ("top_k".into(), Json::from(3u64)),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn stdio_roundtrip_answers_every_request() {
+        let session = test_session();
+        let lib = vulnerability_library();
+        let mut input = String::new();
+        input.push_str("{\"id\":0,\"op\":\"ping\"}\n");
+        input.push_str(&query_line(1, &lib[0]));
+        input.push('\n');
+        input.push_str("this is not json\n");
+        input.push_str(&query_line(2, &lib[1]));
+        input.push('\n');
+        let mut output = Vec::new();
+        let stats = run_stdio(
+            Arc::clone(&session),
+            ServeConfig::default(),
+            input.as_bytes(),
+            &mut output,
+        );
+        assert_eq!(stats.ok, 2);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.total(), 3);
+        let text = String::from_utf8(output).expect("utf8");
+        assert_eq!(text.lines().count(), 4, "{text}");
+        // Every response parses and carries the documented shape.
+        for line in text.lines() {
+            let v = json::parse(line).expect("response parses");
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn stdio_query_matches_direct_session_call_bit_for_bit() {
+        let session = test_session();
+        let lib = vulnerability_library();
+        let direct = session
+            .query(
+                &FunctionQuery::new(
+                    "1",
+                    lib[0].vulnerable_source.clone(),
+                    lib[0].function,
+                    asteria_compiler::Arch::Arm,
+                )
+                .top_k(3),
+            )
+            .expect("encodes");
+        let input = format!("{}\n", query_line(1, &lib[0]));
+        let mut output = Vec::new();
+        run_stdio(
+            Arc::clone(&session),
+            ServeConfig::default(),
+            input.as_bytes(),
+            &mut output,
+        );
+        let text = String::from_utf8(output).expect("utf8");
+        let v = json::parse(text.trim()).expect("parses");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{text}");
+        let hits = match v.get("result").and_then(|r| r.get("hits")) {
+            Some(Json::Array(hits)) => hits,
+            other => panic!("missing hits: {other:?}"),
+        };
+        assert_eq!(hits.len(), direct.hits.len());
+        for (wire, want) in hits.iter().zip(&direct.hits) {
+            let score = wire.get("score").and_then(Json::as_f64).expect("score");
+            assert_eq!(score.to_bits(), want.score.to_bits(), "score bits");
+            let idx = wire.get("index").and_then(Json::as_u64).expect("index");
+            assert_eq!(idx as usize, want.function);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_expires_deterministically() {
+        let session = test_session();
+        let lib = vulnerability_library();
+        let input = format!(
+            "{}\n",
+            Json::Object(vec![
+                ("id".into(), Json::from(9u64)),
+                ("op".into(), Json::from("query")),
+                (
+                    "source".into(),
+                    Json::from(lib[0].vulnerable_source.as_str())
+                ),
+                ("function".into(), Json::from(lib[0].function)),
+                ("deadline_ms".into(), Json::from(0u64)),
+            ])
+            .render()
+        );
+        let mut output = Vec::new();
+        let stats = run_stdio(
+            Arc::clone(&session),
+            ServeConfig::default(),
+            input.as_bytes(),
+            &mut output,
+        );
+        assert_eq!(stats.deadline_exceeded, 1);
+        let text = String::from_utf8(output).expect("utf8");
+        assert!(text.contains("\"deadline_exceeded\""), "{text}");
+    }
+
+    #[test]
+    fn oversized_lines_get_a_typed_error_and_the_stream_recovers() {
+        let session = test_session();
+        let config = ServeConfig {
+            max_request_bytes: 64,
+            ..Default::default()
+        };
+        let long = "x".repeat(1000);
+        let input = format!(
+            "{{\"id\":1,\"op\":\"ping\",\"pad\":\"{long}\"}}\n{{\"id\":2,\"op\":\"ping\"}}\n"
+        );
+        let mut output = Vec::new();
+        let stats = run_stdio(session, config, input.as_bytes(), &mut output);
+        assert_eq!(stats.oversized, 1);
+        let text = String::from_utf8(output).expect("utf8");
+        assert!(text.contains("\"oversized\""), "{text}");
+        assert!(
+            text.contains("\"pong\""),
+            "next request still served: {text}"
+        );
+    }
+
+    #[test]
+    fn shutdown_op_stops_the_stdio_server_and_refuses_late_queries() {
+        let session = test_session();
+        let lib = vulnerability_library();
+        let mut input = String::new();
+        input.push_str(&query_line(1, &lib[0]));
+        input.push('\n');
+        input.push_str("{\"id\":2,\"op\":\"shutdown\"}\n");
+        input.push_str(&query_line(3, &lib[1]));
+        input.push('\n');
+        let mut output = Vec::new();
+        let stats = run_stdio(
+            session,
+            ServeConfig::default(),
+            input.as_bytes(),
+            &mut output,
+        );
+        let text = String::from_utf8(output).expect("utf8");
+        assert!(text.contains("\"stopping\""), "{text}");
+        // The query accepted before the shutdown op still completed
+        // (drain); the one after it was never read (the loop stopped) or
+        // was refused with a typed error — never silently half-served.
+        assert_eq!(stats.ok, 1, "{text}");
+        // Responses: query 1's result, the shutdown ack, and optionally
+        // a shutting_down refusal for query 3.
+        let lines = text.lines().count();
+        assert!(
+            lines == 2 + stats.shutting_down as usize,
+            "{lines} lines, {stats:?}: {text}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Graceful-shutdown signal handling without a signal crate.
+//!
+//! The workspace vendors no libc binding, so this module talks to the
+//! already-linked C runtime directly: one `extern "C"` declaration of
+//! POSIX `signal(2)` and a handler that does the only thing an
+//! async-signal-safe handler may do here — store to an atomic. The
+//! server's loops poll [`shutdown_requested`]; nothing else in the crate
+//! (or the workspace) uses `unsafe`.
+//!
+//! On non-Unix targets installation is a no-op: shutdown is still
+//! reachable through the `shutdown` protocol op, stdio EOF, and
+//! [`request_shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown was requested (signal, `shutdown` op, or
+/// [`request_shutdown`]).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a graceful shutdown programmatically.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag — the process-global flag would otherwise leak a
+/// previous server's shutdown into the next one (tests start several
+/// servers per process).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn handle(_signum: i32) {
+        // Only async-signal-safe work is allowed here: one atomic store.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        #[allow(unsafe_code)]
+        // SAFETY: `signal` is the POSIX C function from the runtime this
+        // binary is already linked against; `handle` is a valid
+        // `extern "C" fn(i32)` for the whole program lifetime and does
+        // nothing non-reentrant.
+        unsafe {
+            #[allow(non_camel_case_types)]
+            type sighandler_t = extern "C" fn(i32);
+            extern "C" {
+                fn signal(signum: i32, handler: sighandler_t) -> usize;
+            }
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown
+/// (Unix; a no-op elsewhere). Idempotent.
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_roundtrip() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installing_handlers_is_idempotent_and_harmless() {
+        install_handlers();
+        install_handlers();
+    }
+}

@@ -22,6 +22,7 @@ pub mod index_io;
 pub mod library;
 pub mod report;
 pub mod search;
+pub mod session;
 
 pub use firmware::{build_firmware_corpus, FirmwareConfig, FirmwareImage, PlantedFunction};
 pub use index_io::{
@@ -32,9 +33,16 @@ pub use library::{vulnerability_library, CveEntry};
 pub use report::{
     render_report, render_report_with_cache, render_report_with_extraction, render_summary_lines,
 };
+#[allow(deprecated)]
 pub use search::{
     build_search_index, build_search_index_cached, build_search_index_cached_threads,
     build_search_index_threads, encode_query, run_search, run_search_threads, search,
-    search_threads, top_k_accuracy, CveSearchResult, IndexedFunction, QueryError, QueryErrorKind,
-    SearchHit, SearchIndex,
+    search_threads,
+};
+pub use search::{
+    top_k_accuracy, CveSearchResult, IndexedFunction, QueryError, QueryErrorKind, SearchHit,
+    SearchIndex,
+};
+pub use session::{
+    FunctionQuery, IndexBuild, IndexBuilder, QueryOutcome, SearchSession, DEFAULT_TOP_K,
 };

@@ -1,33 +1,26 @@
-//! The vulnerability search itself (paper §V): encode the whole firmware
-//! corpus offline, then rank every function against each CVE query by
-//! calibrated similarity.
+//! The vulnerability search's data types (paper §V) and the deprecated
+//! free-function API.
 //!
-//! Both phases fan out over `asteria-exec`'s deterministic worker pool:
-//! the offline phase per **binary** (extraction + Tree-LSTM encoding, the
-//! cost the paper's Fig. 10 shows dominating end-to-end time), the online
-//! phase per **indexed function** (scoring) and per **CVE** (query
-//! encoding). The parallel results are bit-identical to the serial ones
-//! at every thread count — same index order, same scores, same extraction
-//! reports — because each work unit is computed independently and merged
-//! in input order.
+//! The implementation lives in [`crate::session`]: [`IndexBuilder`] is
+//! the offline phase, [`SearchSession`] the online phase. The free
+//! functions below are thin `#[deprecated]` wrappers kept so external
+//! callers migrate at their own pace; everything in this workspace uses
+//! the session API directly.
+//!
+//! [`IndexBuilder`]: crate::session::IndexBuilder
+//! [`SearchSession`]: crate::session::SearchSession
 
-use std::cmp::Ordering;
 use std::fmt;
 
-use asteria_compiler::{compile_program, Arch, CompileError};
-use asteria_core::{
-    encode_function, extract_binary_resilient, extract_function, function_similarity, AsteriaModel,
-    ExtractionReport, FunctionEncoding, DEFAULT_INLINE_BETA,
-};
-use asteria_decompiler::{BudgetKind, DecompileError, DecompileLimits};
-use asteria_lang::{parse, ParseError};
+use asteria_compiler::{Arch, CompileError};
+use asteria_core::{AsteriaModel, ExtractionReport, FunctionEncoding, DEFAULT_INLINE_BETA};
+use asteria_decompiler::{DecompileError, DecompileLimits};
+use asteria_lang::ParseError;
 
 use crate::firmware::FirmwareImage;
-use crate::index_io::{
-    extraction_params_digest, fingerprint_binary, CacheStats, CachedBinary, CachedFunction,
-    IndexCache,
-};
+use crate::index_io::{CacheStats, IndexCache};
 use crate::library::CveEntry;
+use crate::session;
 
 /// One firmware function in the search index.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,217 +60,10 @@ impl SearchIndex {
     }
 }
 
-/// Encodes every function of every firmware binary (the offline phase)
-/// with the default thread count (`ASTERIA_THREADS` override, else all
-/// cores).
-///
-/// Extraction is resilient: a corrupt or over-budget function is skipped
-/// and counted in [`SearchIndex::extraction`] instead of aborting the
-/// whole corpus — real firmware always contains functions the decompiler
-/// cannot digest.
-pub fn build_search_index(model: &AsteriaModel, firmware: &[FirmwareImage]) -> SearchIndex {
-    build_search_index_threads(model, firmware, 0)
-}
-
-/// [`build_search_index`] with an explicit worker count (`0` = auto).
-///
-/// Per-binary extraction + encoding fans out across workers;
-/// [`ExtractionReport`]s and function lists are merged deterministically
-/// in `(image, binary)` input order, so the index is bit-identical to a
-/// serial build at every thread count.
-pub fn build_search_index_threads(
-    model: &AsteriaModel,
-    firmware: &[FirmwareImage],
-    threads: usize,
-) -> SearchIndex {
-    // A throwaway cache: every binary misses, so this is the cold path —
-    // one code path for cold and warm builds keeps them bit-identical by
-    // construction.
-    let mut cache = IndexCache::for_model(model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
-    build_search_index_cached_threads(model, firmware, &mut cache, threads).0
-}
-
-/// [`build_search_index_cached_threads`] with the default thread count.
-pub fn build_search_index_cached(
-    model: &AsteriaModel,
-    firmware: &[FirmwareImage],
-    cache: &mut IndexCache,
-) -> (SearchIndex, CacheStats) {
-    build_search_index_cached_threads(model, firmware, cache, 0)
-}
-
-/// Incremental offline phase: like [`build_search_index_threads`], but
-/// backed by a persistent [`IndexCache`].
-///
-/// Each binary is fingerprinted over (exact binary bytes, extraction
-/// parameters, model weights digest). A fingerprint **hit** replays the
-/// cached embeddings and extraction report — no decompilation, no
-/// Tree-LSTM encoding. A **miss** runs the cold pipeline, fanning out
-/// over `asteria-exec` workers as before, and the result is written back
-/// to the cache. Entries whose fingerprint no longer appears in the
-/// corpus (and the whole cache, when the model weights or
-/// [`DecompileLimits`] digests changed) are **evicted** so the cache
-/// never serves stale embeddings.
-///
-/// The returned index is bit-identical to a cold
-/// [`build_search_index_threads`] build at every thread count and every
-/// hit/miss mix: cached vectors are the exact bits the cold path
-/// produced, reports are replayed verbatim, and ground truth is
-/// recomputed from the live corpus (identity metadata is not trusted
-/// across corpus relabelings).
-pub fn build_search_index_cached_threads(
-    model: &AsteriaModel,
-    firmware: &[FirmwareImage],
-    cache: &mut IndexCache,
-    threads: usize,
-) -> (SearchIndex, CacheStats) {
-    let mut build_span = asteria_obs::span("index-build");
-    let model_digest = model.weights_digest();
-    let params_digest = extraction_params_digest(DEFAULT_INLINE_BETA, &DecompileLimits::default());
-    let mut stats = CacheStats::default();
-    if cache.model_digest != model_digest || cache.params_digest != params_digest {
-        // Retraining or a budget change invalidates every embedding.
-        stats.evicted += cache.clear();
-        cache.model_digest = model_digest;
-        cache.params_digest = params_digest;
-    }
-
-    // One work unit per binary: the granularity that balances fan-out
-    // (images hold few binaries) against per-unit overhead, and the
-    // granularity the cache is keyed at (callee counts depend on sibling
-    // symbols, so a binary is the smallest self-contained unit).
-    let units: Vec<(usize, usize, &FirmwareImage)> = firmware
-        .iter()
-        .enumerate()
-        .flat_map(|(ii, img)| (0..img.binaries.len()).map(move |bi| (ii, bi, img)))
-        .collect();
-    build_span.set_items(units.len() as u64);
-    let cache_ref = &*cache;
-    let per_binary = asteria_exec::par_map_threads(threads, &units, |&(ii, bi, img)| {
-        let mut bin_span = asteria_obs::span("encode-binary");
-        let bin_timer = asteria_obs::timer();
-        let binary = &img.binaries[bi];
-        let fingerprint = fingerprint_binary(binary, params_digest, model_digest);
-        let attach_truth = |name: &str| {
-            img.planted
-                .iter()
-                .find(|p| p.binary_index == bi && p.display_name == name)
-                .map(|p| (p.cve_index, p.vulnerable))
-        };
-        if let Some(cached) = cache_ref.get(fingerprint) {
-            // Warm: replay embeddings and report; skip extraction and
-            // all Tree-LSTM encoding.
-            let functions: Vec<IndexedFunction> = cached
-                .functions
-                .iter()
-                .map(|f| IndexedFunction {
-                    image: ii,
-                    binary: bi,
-                    name: f.name.clone(),
-                    encoding: FunctionEncoding {
-                        name: f.name.clone(),
-                        vector: f.vector.clone(),
-                        callee_count: f.callee_count,
-                    },
-                    ground_truth: attach_truth(&f.name),
-                })
-                .collect();
-            bin_span.set_items(functions.len() as u64);
-            bin_timer.observe_seconds("asteria_index_binary_seconds", &[("mode", "warm")]);
-            return (functions, cached.report, fingerprint, None);
-        }
-        // Cold: the full resilient extraction + encoding pipeline.
-        let extraction = extract_binary_resilient(binary, DEFAULT_INLINE_BETA);
-        let functions: Vec<IndexedFunction> = extraction
-            .successes()
-            .map(|f| IndexedFunction {
-                image: ii,
-                binary: bi,
-                name: f.name.clone(),
-                encoding: encode_function(model, f),
-                ground_truth: attach_truth(&f.name),
-            })
-            .collect();
-        let entry = CachedBinary {
-            report: extraction.report,
-            functions: functions
-                .iter()
-                .map(|f| CachedFunction {
-                    name: f.name.clone(),
-                    callee_count: f.encoding.callee_count,
-                    vector: f.encoding.vector.clone(),
-                })
-                .collect(),
-        };
-        bin_span.set_items(functions.len() as u64);
-        bin_timer.observe_seconds("asteria_index_binary_seconds", &[("mode", "cold")]);
-        (functions, extraction.report, fingerprint, Some(entry))
-    });
-
-    let mut index = SearchIndex::default();
-    let mut live = std::collections::HashSet::with_capacity(per_binary.len());
-    for (functions, report, fingerprint, new_entry) in per_binary {
-        index.extraction.absorb(&report);
-        index.functions.extend(functions);
-        live.insert(fingerprint);
-        match new_entry {
-            Some(entry) => {
-                stats.misses += 1;
-                cache.insert(fingerprint, entry);
-            }
-            None => stats.hits += 1,
-        }
-    }
-    // Anything the corpus no longer contains is stale.
-    stats.evicted += cache.retain_fingerprints(|fp| live.contains(&fp));
-    record_build_metrics(&index, &stats);
-    (index, stats)
-}
-
-/// Publishes the offline build's obs counters. Everything here is
-/// derived from the deterministically merged results — never from inside
-/// a worker — so every value is identical at any thread count.
-fn record_build_metrics(index: &SearchIndex, stats: &CacheStats) {
-    if !asteria_obs::enabled() {
-        return;
-    }
-    asteria_obs::counter_add("asteria_cache_hits_total", &[], stats.hits as u64);
-    asteria_obs::counter_add("asteria_cache_misses_total", &[], stats.misses as u64);
-    asteria_obs::counter_add("asteria_cache_evicted_total", &[], stats.evicted as u64);
-    asteria_obs::counter_add(
-        "asteria_functions_indexed_total",
-        &[],
-        index.functions.len() as u64,
-    );
-    let r = &index.extraction;
-    for (outcome, n) in [
-        ("extracted", r.extracted),
-        ("over_budget", r.over_budget),
-        ("decode_error", r.decode_errors),
-        ("empty", r.empty_functions),
-        ("other", r.other_errors),
-    ] {
-        asteria_obs::counter_add(
-            "asteria_extraction_outcomes_total",
-            &[("outcome", outcome)],
-            n as u64,
-        );
-    }
-    // Pre-register every budget kind at zero so the exposition always
-    // carries all four series, even on a corpus where none fire.
-    for kind in BudgetKind::ALL {
-        asteria_obs::counter_add(
-            "asteria_budget_exceeded_total",
-            &[("kind", kind.label())],
-            0,
-        );
-    }
-}
-
-/// Why a CVE query could not be encoded: the analyst-supplied library
-/// source failed one of the four pipeline stages. Unlike corpus-side
-/// extraction failures (skipped and counted), a failing *query* makes the
-/// whole CVE's search meaningless, so it surfaces as a typed error.
+/// Why a query could not be encoded: the analyst-supplied source failed
+/// one of the four pipeline stages. Unlike corpus-side extraction
+/// failures (skipped and counted), a failing *query* makes the whole
+/// search meaningless, so it surfaces as a typed error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryErrorKind {
     /// The vulnerable source failed to parse.
@@ -290,11 +76,12 @@ pub enum QueryErrorKind {
     Extract(DecompileError),
 }
 
-/// A typed query-encoding failure, naming the CVE and function it
-/// belongs to.
+/// A typed query-encoding failure, naming the query (CVE id or caller
+/// label) and function it belongs to.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryError {
-    /// CVE identifier of the failing query.
+    /// Label of the failing query (a CVE identifier in the Table IV
+    /// experiment; any caller-chosen label for ad-hoc queries).
     pub cve: String,
     /// The vulnerable function name.
     pub function: String,
@@ -316,36 +103,6 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// Encodes a CVE query function (compiled for `query_arch`, as the
-/// analyst would compile or obtain a reference build of the vulnerable
-/// library).
-///
-/// # Errors
-///
-/// Returns a typed [`QueryError`] when the library source fails to
-/// parse, compile, resolve, or decompile — unparsable analyst input must
-/// not kill the run.
-pub fn encode_query(
-    model: &AsteriaModel,
-    entry: &CveEntry,
-    query_arch: Arch,
-) -> Result<FunctionEncoding, QueryError> {
-    let fail = |kind| QueryError {
-        cve: entry.id.to_string(),
-        function: entry.function.to_string(),
-        kind,
-    };
-    let program = parse(&entry.vulnerable_source).map_err(|e| fail(QueryErrorKind::Parse(e)))?;
-    let binary =
-        compile_program(&program, query_arch).map_err(|e| fail(QueryErrorKind::Compile(e)))?;
-    let sym = binary
-        .symbol_index(entry.function)
-        .ok_or_else(|| fail(QueryErrorKind::MissingFunction))?;
-    let f = extract_function(&binary, sym, DEFAULT_INLINE_BETA)
-        .map_err(|e| fail(QueryErrorKind::Extract(e)))?;
-    Ok(encode_function(model, &f))
-}
-
 /// A ranked search hit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchHit {
@@ -353,51 +110,6 @@ pub struct SearchHit {
     pub function: usize,
     /// Calibrated similarity score ℱ.
     pub score: f64,
-}
-
-/// Descending-score ordering that is total: NaN ranks **last** (a
-/// degenerate encoding must sink to the bottom of the ranking, not panic
-/// the sort or float to the top as `total_cmp`'s `NaN > ∞` would).
-fn rank_order(a: f64, b: f64) -> Ordering {
-    match (a.is_nan(), b.is_nan()) {
-        (false, false) => b.total_cmp(&a),
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Greater,
-        (false, true) => Ordering::Less,
-    }
-}
-
-/// Ranks the whole index against one query (the online phase) with the
-/// default thread count.
-pub fn search(
-    model: &AsteriaModel,
-    index: &SearchIndex,
-    query: &FunctionEncoding,
-) -> Vec<SearchHit> {
-    search_threads(model, index, query, 0)
-}
-
-/// [`search`] with an explicit worker count (`0` = auto). Scoring fans
-/// out per function in index order; the final (stable) sort runs on the
-/// merged scores, so the ranking is identical at every thread count.
-pub fn search_threads(
-    model: &AsteriaModel,
-    index: &SearchIndex,
-    query: &FunctionEncoding,
-    threads: usize,
-) -> Vec<SearchHit> {
-    let timer = asteria_obs::timer();
-    let scores = asteria_exec::par_map_chunked(threads, 0, &index.functions, |f| {
-        function_similarity(model, query, &f.encoding)
-    });
-    timer.observe_seconds("asteria_search_seconds", &[]);
-    let mut hits: Vec<SearchHit> = scores
-        .into_iter()
-        .enumerate()
-        .map(|(function, score)| SearchHit { function, score })
-        .collect();
-    hits.sort_by(|a, b| rank_order(a.score, b.score));
-    hits
 }
 
 /// Table IV-style per-CVE result.
@@ -427,100 +139,6 @@ pub struct CveSearchResult {
     pub top10_hits: usize,
 }
 
-/// Runs the full Table IV experiment with the default thread count:
-/// searches every CVE against the index, thresholds candidates, and
-/// scores them against ground truth.
-///
-/// # Errors
-///
-/// Returns the first (in library order) [`QueryError`] if any CVE's
-/// reference source fails to encode.
-pub fn run_search(
-    model: &AsteriaModel,
-    index: &SearchIndex,
-    firmware: &[FirmwareImage],
-    library: &[CveEntry],
-    threshold: f64,
-    query_arch: Arch,
-) -> Result<Vec<CveSearchResult>, QueryError> {
-    run_search_threads(model, index, firmware, library, threshold, query_arch, 0)
-}
-
-/// [`run_search`] with an explicit worker count (`0` = auto). The CVE
-/// queries encode in parallel, then each per-CVE ranking scores the
-/// index in parallel; error selection (first failing CVE in library
-/// order) and all results are independent of the thread count.
-#[allow(clippy::too_many_arguments)]
-pub fn run_search_threads(
-    model: &AsteriaModel,
-    index: &SearchIndex,
-    firmware: &[FirmwareImage],
-    library: &[CveEntry],
-    threshold: f64,
-    query_arch: Arch,
-    threads: usize,
-) -> Result<Vec<CveSearchResult>, QueryError> {
-    let mut search_span = asteria_obs::span("online-search");
-    search_span.set_items(library.len() as u64);
-    // Fan the CVE set out for query encoding, then surface the first
-    // failure in deterministic library order.
-    let queries = asteria_exec::par_map_threads(threads, library, |entry| {
-        encode_query(model, entry, query_arch)
-    });
-    let mut results = Vec::with_capacity(library.len());
-    for (cve_index, (entry, query)) in library.iter().zip(queries).enumerate() {
-        let query = query?;
-        let hits = search_threads(model, index, &query, threads);
-        let mut candidates = 0;
-        let mut confirmed = 0;
-        let mut affected: Vec<String> = Vec::new();
-        for h in &hits {
-            // A NaN score compares as incomparable (never ≥ threshold),
-            // so it also stops the candidate scan.
-            let at_or_above = matches!(
-                h.score.partial_cmp(&threshold),
-                Some(Ordering::Greater | Ordering::Equal)
-            );
-            if !at_or_above {
-                break;
-            }
-            candidates += 1;
-            let f = &index.functions[h.function];
-            if f.ground_truth == Some((cve_index, true)) {
-                confirmed += 1;
-                let img = &firmware[f.image];
-                let label = format!("{} {}", img.vendor, img.model);
-                if !affected.contains(&label) {
-                    affected.push(label);
-                }
-            }
-        }
-        let top_hits: Vec<bool> = hits
-            .iter()
-            .take(10)
-            .map(|h| index.functions[h.function].ground_truth == Some((cve_index, true)))
-            .collect();
-        let top10_hits = top_hits.iter().filter(|h| **h).count();
-        let total_vulnerable = index
-            .functions
-            .iter()
-            .filter(|f| f.ground_truth == Some((cve_index, true)))
-            .count();
-        results.push(CveSearchResult {
-            cve: entry.id.to_string(),
-            software: entry.software.to_string(),
-            function: entry.function.to_string(),
-            candidates,
-            confirmed,
-            total_vulnerable,
-            affected_models: affected,
-            top_hits,
-            top10_hits,
-        });
-    }
-    Ok(results)
-}
-
 /// Top-k accuracy across CVEs: the fraction of top-k slots filled with
 /// true vulnerable functions, capped by availability (the §V end-to-end
 /// comparison metric between Asteria and Gemini). A hit only counts
@@ -539,11 +157,186 @@ pub fn top_k_accuracy(results: &[CveSearchResult], k: usize) -> f64 {
     hit as f64 / possible as f64
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated free-function API (delegates to crate::session)
+// ---------------------------------------------------------------------------
+
+/// Encodes every function of every firmware binary (the offline phase)
+/// with the default thread count.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `IndexBuilder::new(model).build(firmware)`"
+)]
+pub fn build_search_index(model: &AsteriaModel, firmware: &[FirmwareImage]) -> SearchIndex {
+    let mut cache = IndexCache::for_model(model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+    session::IndexBuilder::new(model)
+        .build_into(firmware, &mut cache)
+        .0
+}
+
+/// [`build_search_index`] with an explicit worker count (`0` = auto).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `IndexBuilder::new(model).threads(n).build(firmware)`"
+)]
+pub fn build_search_index_threads(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    threads: usize,
+) -> SearchIndex {
+    let mut cache = IndexCache::for_model(model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+    session::IndexBuilder::new(model)
+        .threads(threads)
+        .build_into(firmware, &mut cache)
+        .0
+}
+
+/// Incremental offline phase against a caller-owned cache, with the
+/// default thread count.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `IndexBuilder::new(model).build_into(firmware, cache)`"
+)]
+pub fn build_search_index_cached(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    cache: &mut IndexCache,
+) -> (SearchIndex, CacheStats) {
+    session::IndexBuilder::new(model).build_into(firmware, cache)
+}
+
+/// Incremental offline phase against a caller-owned cache with an
+/// explicit worker count (`0` = auto).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `IndexBuilder::new(model).threads(n).build_into(firmware, cache)`"
+)]
+pub fn build_search_index_cached_threads(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    cache: &mut IndexCache,
+    threads: usize,
+) -> (SearchIndex, CacheStats) {
+    session::IndexBuilder::new(model)
+        .threads(threads)
+        .build_into(firmware, cache)
+}
+
+/// Encodes a CVE query function (compiled for `query_arch`, as the
+/// analyst would compile or obtain a reference build of the vulnerable
+/// library).
+///
+/// # Errors
+///
+/// Returns a typed [`QueryError`] when the library source fails to
+/// parse, compile, resolve, or decompile.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `SearchSession::encode_cve` (or `SearchSession::encode` with a `FunctionQuery`)"
+)]
+pub fn encode_query(
+    model: &AsteriaModel,
+    entry: &CveEntry,
+    query_arch: Arch,
+) -> Result<FunctionEncoding, QueryError> {
+    session::encode_query_impl(
+        model,
+        entry.id,
+        &entry.vulnerable_source,
+        entry.function,
+        query_arch,
+        DEFAULT_INLINE_BETA,
+        &DecompileLimits::default(),
+    )
+}
+
+/// Ranks the whole index against one query (the online phase) with the
+/// default thread count.
+#[deprecated(since = "0.5.0", note = "use `SearchSession::rank`")]
+pub fn search(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    query: &FunctionEncoding,
+) -> Vec<SearchHit> {
+    session::rank_impl(model, index, query, 0)
+}
+
+/// [`search`] with an explicit worker count (`0` = auto).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `SearchSession::rank` on a session configured with `.threads(n)`"
+)]
+pub fn search_threads(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    query: &FunctionEncoding,
+    threads: usize,
+) -> Vec<SearchHit> {
+    session::rank_impl(model, index, query, threads)
+}
+
+/// Runs the full Table IV experiment with the default thread count.
+///
+/// # Errors
+///
+/// Returns the first (in library order) [`QueryError`] if any CVE's
+/// reference source fails to encode.
+#[deprecated(since = "0.5.0", note = "use `SearchSession::run`")]
+pub fn run_search(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    firmware: &[FirmwareImage],
+    library: &[CveEntry],
+    threshold: f64,
+    query_arch: Arch,
+) -> Result<Vec<CveSearchResult>, QueryError> {
+    session::run_impl(
+        model,
+        index,
+        firmware,
+        library,
+        threshold,
+        query_arch,
+        0,
+        DEFAULT_INLINE_BETA,
+        &DecompileLimits::default(),
+    )
+}
+
+/// [`run_search`] with an explicit worker count (`0` = auto).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `SearchSession::run` on a session configured with `.threads(n)`"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_search_threads(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    firmware: &[FirmwareImage],
+    library: &[CveEntry],
+    threshold: f64,
+    query_arch: Arch,
+    threads: usize,
+) -> Result<Vec<CveSearchResult>, QueryError> {
+    session::run_impl(
+        model,
+        index,
+        firmware,
+        library,
+        threshold,
+        query_arch,
+        threads,
+        DEFAULT_INLINE_BETA,
+        &DecompileLimits::default(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::firmware::{build_firmware_corpus, FirmwareConfig};
     use crate::library::vulnerability_library;
+    use crate::session::{IndexBuilder, SearchSession};
     use asteria_core::ModelConfig;
 
     fn fixture() -> (AsteriaModel, Vec<FirmwareImage>, SearchIndex) {
@@ -559,146 +352,70 @@ mod tests {
             },
             &vulnerability_library(),
         );
-        let index = build_search_index(&model, &firmware);
+        let index = IndexBuilder::new(&model)
+            .build(&firmware)
+            .expect("in-memory build")
+            .index;
         (model, firmware, index)
     }
 
+    /// The deprecated wrappers must produce bit-identical results to the
+    /// session API they delegate to — old callers lose nothing by
+    /// migrating late.
     #[test]
-    fn index_covers_all_functions() {
-        let (_, firmware, index) = fixture();
-        let expected: usize = firmware.iter().map(|i| i.function_count()).sum();
-        // Some tiny functions may be filtered by the AST-size rule, but
-        // most must be present.
-        assert!(index.len() > expected / 2, "{} of {expected}", index.len());
-    }
-
-    #[test]
-    fn ground_truth_is_attached() {
-        let (_, firmware, index) = fixture();
-        let planted: usize = firmware.iter().map(|i| i.planted.len()).sum();
-        let attached = index
-            .functions
-            .iter()
-            .filter(|f| f.ground_truth.is_some())
-            .count();
-        assert_eq!(attached, planted);
-    }
-
-    #[test]
-    fn search_is_sorted_descending() {
-        let (model, _, index) = fixture();
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_session_api() {
+        let (model, firmware, index) = fixture();
         let lib = vulnerability_library();
+
+        let legacy_index = build_search_index(&model, &firmware);
+        assert_eq!(legacy_index, index, "build wrapper");
+        let legacy_threads = build_search_index_threads(&model, &firmware, 2);
+        assert_eq!(legacy_threads, index, "threaded build wrapper");
+
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        let (cached_index, stats) = build_search_index_cached(&model, &firmware, &mut cache);
+        assert_eq!(cached_index, index, "cached build wrapper");
+        assert!(stats.misses > 0);
+        let (warm_index, warm) =
+            build_search_index_cached_threads(&model, &firmware, &mut cache, 2);
+        assert_eq!(warm_index, index, "cached threaded build wrapper");
+        assert_eq!(warm.misses, 0);
+
         let q = encode_query(&model, &lib[0], Arch::X86).expect("query encodes");
-        let hits = search(&model, &index, &q);
-        assert_eq!(hits.len(), index.len());
-        for w in hits.windows(2) {
-            assert!(w[0].score >= w[1].score);
-        }
-    }
-
-    #[test]
-    fn run_search_produces_one_result_per_cve() {
-        let (model, firmware, index) = fixture();
-        let lib = vulnerability_library();
-        let results =
+        let legacy_hits = search(&model, &index, &q);
+        let legacy_hits_threads = search_threads(&model, &index, &q, 2);
+        let legacy_results =
             run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86).expect("queries encode");
-        assert_eq!(results.len(), 7);
-        for r in &results {
-            assert!(r.confirmed <= r.candidates);
-            assert!(r.top_hits.len() <= 10);
-            assert_eq!(r.top10_hits, r.top_hits.iter().filter(|h| **h).count());
-        }
-    }
+        let legacy_results_threads =
+            run_search_threads(&model, &index, &firmware, &lib, 0.5, Arch::X86, 2)
+                .expect("queries encode");
 
-    #[test]
-    fn encode_query_surfaces_typed_errors() {
-        let (model, _, _) = fixture();
-        let bad = CveEntry {
-            id: "CVE-0000-0000",
-            software: "bogus",
-            function: "nope",
-            vulnerable_source: "int nope( { broken".into(),
-            patched_source: "int nope() { return 0; }".into(),
-        };
-        let err = encode_query(&model, &bad, Arch::X86).expect_err("must fail");
-        assert_eq!(err.cve, "CVE-0000-0000");
-        assert!(matches!(err.kind, QueryErrorKind::Parse(_)), "{err:?}");
-        assert!(err.to_string().contains("does not parse"), "{err}");
-
-        let missing = CveEntry {
-            vulnerable_source: "int other() { return 1; }".into(),
-            ..bad
-        };
-        let err = encode_query(&model, &missing, Arch::X86).expect_err("must fail");
-        assert!(
-            matches!(err.kind, QueryErrorKind::MissingFunction),
-            "{err:?}"
+        let session = SearchSession::new(model, index);
+        let sq = session.encode_cve(&lib[0], Arch::X86).expect("encodes");
+        assert_eq!(q, sq, "encode wrapper");
+        let hits = session.rank(&sq);
+        assert_eq!(legacy_hits, hits, "search wrapper");
+        assert_eq!(legacy_hits_threads, hits, "threaded search wrapper");
+        let results = session
+            .run(&firmware, &lib, 0.5, Arch::X86)
+            .expect("queries encode");
+        assert_eq!(legacy_results, results, "run_search wrapper");
+        assert_eq!(
+            legacy_results_threads, results,
+            "threaded run_search wrapper"
         );
-    }
-
-    #[test]
-    fn run_search_surfaces_query_errors() {
-        let (model, firmware, index) = fixture();
-        let mut lib = vulnerability_library();
-        lib[2].vulnerable_source = "not even close to MiniC".into();
-        let err = run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86)
-            .expect_err("bad library entry must surface");
-        assert_eq!(err.cve, lib[2].id);
-    }
-
-    #[test]
-    fn index_reports_full_extraction_on_clean_corpus() {
-        let (_, firmware, index) = fixture();
-        let expected: usize = firmware.iter().map(|i| i.function_count()).sum();
-        assert_eq!(index.extraction.total, expected);
-        assert_eq!(index.extraction.skipped, 0);
-    }
-
-    #[test]
-    fn corrupted_corpus_completes_with_skips_reported() {
-        let model = AsteriaModel::new(ModelConfig {
-            hidden_dim: 12,
-            embed_dim: 8,
-            ..Default::default()
-        });
-        let mut firmware = build_firmware_corpus(
-            &FirmwareConfig {
-                images: 3,
-                ..Default::default()
-            },
-            &vulnerability_library(),
-        );
-        // Corrupt one function per image: undecodable garbage bytes.
-        let mut corrupted = 0usize;
-        for img in &mut firmware {
-            if let Some(binary) = img.binaries.first_mut() {
-                if let Some(sym) = binary.symbols.first_mut() {
-                    sym.code = vec![0xff; 7];
-                    corrupted += 1;
-                }
-            }
-        }
-        assert!(corrupted > 0);
-        let index = build_search_index(&model, &firmware);
-        assert_eq!(index.extraction.skipped, corrupted);
-        assert!(index.extraction.decode_errors >= corrupted);
-        assert!(!index.is_empty());
-        // The whole search pipeline still runs end to end.
-        let lib = vulnerability_library();
-        let results =
-            run_search(&model, &index, &firmware, &lib, 0.5, Arch::X86).expect("queries encode");
-        assert_eq!(results.len(), lib.len());
-        let report = crate::report::render_report_with_extraction(&results, 0.5, &index.extraction);
-        assert!(report.contains("## Corpus coverage"));
-        assert!(report.contains(&format!("{corrupted} skipped")));
     }
 
     #[test]
     fn top_k_accuracy_bounds() {
         let (model, firmware, index) = fixture();
         let lib = vulnerability_library();
-        let results =
-            run_search(&model, &index, &firmware, &lib, 0.0, Arch::X86).expect("queries encode");
+        let session = SearchSession::new(model, index);
+        let results = session
+            .run(&firmware, &lib, 0.0, Arch::X86)
+            .expect("queries encode");
         let acc = top_k_accuracy(&results, 10);
         assert!((0.0..=1.0).contains(&acc), "{acc}");
     }
@@ -724,93 +441,5 @@ mod tests {
         assert_eq!(top_k_accuracy(std::slice::from_ref(&r), 10), 1.0);
         assert_eq!(top_k_accuracy(std::slice::from_ref(&r), 5), 0.0);
         assert_eq!(top_k_accuracy(&[r], 1), 0.0);
-    }
-
-    #[test]
-    fn warm_cached_build_is_bit_identical_and_all_hits() {
-        let (model, firmware, cold_index) = fixture();
-        let mut cache =
-            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
-        let (first, cold_stats) = build_search_index_cached(&model, &firmware, &mut cache);
-        let units: usize = firmware.iter().map(|i| i.binaries.len()).sum();
-        assert_eq!(cold_stats.misses, units);
-        assert_eq!(cold_stats.hits, 0);
-        assert_eq!(first, cold_index, "cached cold build == plain build");
-
-        let (second, warm_stats) = build_search_index_cached(&model, &firmware, &mut cache);
-        assert_eq!(warm_stats.hits, units, "{warm_stats}");
-        assert_eq!(warm_stats.misses, 0);
-        assert_eq!(warm_stats.evicted, 0);
-        assert_eq!(second, cold_index, "warm build must be bit-identical");
-    }
-
-    #[test]
-    fn changing_one_binary_re_encodes_only_that_binary() {
-        let (model, mut firmware, _) = fixture();
-        let mut cache =
-            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
-        let (_, _) = build_search_index_cached(&model, &firmware, &mut cache);
-        let units: usize = firmware.iter().map(|i| i.binaries.len()).sum();
-        // Corrupt one function body: that binary's fingerprint changes.
-        firmware[0].binaries[0].symbols[0].code = vec![0xff; 7];
-        let (index, stats) = build_search_index_cached(&model, &firmware, &mut cache);
-        assert_eq!(stats.misses, 1, "{stats}");
-        assert_eq!(stats.hits, units - 1);
-        assert_eq!(stats.evicted, 1, "the old entry for that binary is stale");
-        assert_eq!(index.extraction.skipped, 1);
-        // And it matches an uncached build of the modified corpus.
-        assert_eq!(index, build_search_index(&model, &firmware));
-    }
-
-    #[test]
-    fn changing_model_weights_invalidates_the_whole_cache() {
-        let (model, firmware, _) = fixture();
-        let mut cache =
-            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
-        build_search_index_cached(&model, &firmware, &mut cache);
-        let entries = cache.len();
-        assert!(entries > 0);
-        // A different seed → different weights → different digest.
-        let retrained = AsteriaModel::new(ModelConfig {
-            hidden_dim: 12,
-            embed_dim: 8,
-            seed: 0xBEEF,
-            ..Default::default()
-        });
-        let (index, stats) = build_search_index_cached(&retrained, &firmware, &mut cache);
-        assert_eq!(stats.hits, 0);
-        assert_eq!(stats.evicted, entries, "{stats}");
-        assert_eq!(index, build_search_index(&retrained, &firmware));
-        assert_eq!(cache.model_digest, retrained.weights_digest());
-    }
-
-    #[test]
-    fn shrinking_corpus_evicts_dropped_binaries() {
-        let (model, mut firmware, _) = fixture();
-        let mut cache =
-            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
-        build_search_index_cached(&model, &firmware, &mut cache);
-        let dropped = firmware.pop().expect("fixture has images");
-        let (_, stats) = build_search_index_cached(&model, &firmware, &mut cache);
-        assert_eq!(stats.misses, 0);
-        assert_eq!(stats.evicted, dropped.binaries.len(), "{stats}");
-    }
-
-    #[test]
-    fn nan_scores_rank_last_and_never_panic() {
-        let (model, _, mut index) = fixture();
-        assert!(index.len() >= 3);
-        // A degenerate encoding: every component NaN. The similarity it
-        // produces is NaN, which must sink to the bottom of the ranking.
-        let dim = index.functions[0].encoding.vector.len();
-        index.functions[1].encoding.vector = vec![f32::NAN; dim];
-        let lib = vulnerability_library();
-        let q = encode_query(&model, &lib[0], Arch::X86).expect("query encodes");
-        let hits = search(&model, &index, &q);
-        assert_eq!(hits.len(), index.len());
-        let last = hits.last().expect("non-empty");
-        assert!(last.score.is_nan(), "NaN must rank last: {last:?}");
-        assert_eq!(last.function, 1);
-        assert!(hits[..hits.len() - 1].iter().all(|h| !h.score.is_nan()));
     }
 }

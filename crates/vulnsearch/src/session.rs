@@ -1,0 +1,1171 @@
+//! The consolidated vulnsearch API: [`IndexBuilder`] for the offline
+//! phase and [`SearchSession`] for the online phase.
+//!
+//! Earlier iterations grew a matrix of free functions
+//! (`build_search_index{,_threads,_cached,_cached_threads}`,
+//! `search{,_threads}`, `run_search{,_threads}`, `encode_query`) that
+//! every new surface — CLI, benches, and now the long-running
+//! `asteria serve` daemon — had to re-duplicate. This module collapses
+//! that matrix into two types:
+//!
+//! - [`IndexBuilder`] — an options-struct builder for the offline phase:
+//!   `.threads(n)`, `.cache(path)` (persistent ASIX warm starts),
+//!   `.limits(l)` / `.inline_beta(β)` (extraction budgets), producing a
+//!   [`SearchIndex`] plus [`CacheStats`].
+//! - [`SearchSession`] — holds the model and the index and answers
+//!   queries: [`SearchSession::query`] / [`SearchSession::query_batch`]
+//!   for ad-hoc function lookups (the serving path),
+//!   [`SearchSession::run`] for the paper's Table IV experiment.
+//!
+//! The old free functions survive as `#[deprecated]` wrappers delegating
+//! here, so external callers migrate at their own pace while the
+//! workspace itself builds with `-D deprecated`.
+//!
+//! All determinism invariants carry over unchanged: a session's answers
+//! are bit-identical at every thread count, and batched queries are
+//! bit-identical to one-at-a-time queries.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use asteria_compiler::{compile_program, Arch};
+use asteria_core::{
+    encode_function, extract_binary_resilient_with, extract_function_with, function_similarity,
+    AsteriaModel, FunctionEncoding, DEFAULT_INLINE_BETA,
+};
+use asteria_decompiler::{BudgetKind, DecompileLimits};
+use asteria_lang::parse;
+
+use crate::firmware::FirmwareImage;
+use crate::index_io::{
+    extraction_params_digest, fingerprint_binary, CacheStats, CachedBinary, CachedFunction,
+    IndexCache, IndexError,
+};
+use crate::library::CveEntry;
+use crate::search::{
+    CveSearchResult, IndexedFunction, QueryError, QueryErrorKind, SearchHit, SearchIndex,
+};
+
+/// Default number of hits a [`FunctionQuery`] returns.
+pub const DEFAULT_TOP_K: usize = 10;
+
+// ---------------------------------------------------------------------------
+// IndexBuilder
+// ---------------------------------------------------------------------------
+
+/// Options-struct builder for the offline phase: encodes a firmware
+/// corpus into a [`SearchIndex`], optionally warm-started from a
+/// persistent ASIX cache.
+///
+/// ```no_run
+/// # use asteria_core::{AsteriaModel, ModelConfig};
+/// # use asteria_vulnsearch::{build_firmware_corpus, vulnerability_library, FirmwareConfig};
+/// # use asteria_vulnsearch::IndexBuilder;
+/// # let model = AsteriaModel::new(ModelConfig::default());
+/// # let firmware = build_firmware_corpus(&FirmwareConfig::default(), &vulnerability_library());
+/// let build = IndexBuilder::new(&model)
+///     .threads(4)
+///     .cache("index.asix")
+///     .build(&firmware)?;
+/// println!("{} functions, {}", build.index.len(), build.stats);
+/// # Ok::<(), asteria_vulnsearch::IndexError>(())
+/// ```
+#[derive(Debug)]
+pub struct IndexBuilder<'m> {
+    model: &'m AsteriaModel,
+    threads: usize,
+    inline_beta: usize,
+    limits: DecompileLimits,
+    cache_path: Option<PathBuf>,
+    seed_cache: Option<IndexCache>,
+}
+
+/// What [`IndexBuilder::build`] produces: the index, the cache
+/// accounting for this build, and the (updated) cache for reuse.
+#[derive(Debug)]
+pub struct IndexBuild {
+    /// The offline product: every firmware function encoded once.
+    pub index: SearchIndex,
+    /// Hit/miss/eviction accounting for this build.
+    pub stats: CacheStats,
+    /// The updated embedding cache (already persisted when the builder
+    /// was given a `.cache(path)`).
+    pub cache: IndexCache,
+}
+
+impl<'m> IndexBuilder<'m> {
+    /// A builder with default options: auto thread count, default
+    /// inlining β and decompile budgets, no persistent cache.
+    pub fn new(model: &'m AsteriaModel) -> IndexBuilder<'m> {
+        IndexBuilder {
+            model,
+            threads: 0,
+            inline_beta: DEFAULT_INLINE_BETA,
+            limits: DecompileLimits::default(),
+            cache_path: None,
+            seed_cache: None,
+        }
+    }
+
+    /// Worker-thread count for the offline fan-out (`0` = auto:
+    /// `ASTERIA_THREADS` override, else all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Warm-starts from (and persists back to) an ASIX cache file.
+    ///
+    /// A missing file costs a cold build; an unreadable or corrupt one
+    /// costs a warning plus a cold rebuild — never the run. The updated
+    /// cache is written back after the build.
+    pub fn cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Warm-starts from an in-memory cache (takes precedence over the
+    /// initial contents of a `.cache(path)` file; the file, when also
+    /// configured, is still written back).
+    pub fn seed_cache(mut self, cache: IndexCache) -> Self {
+        self.seed_cache = Some(cache);
+        self
+    }
+
+    /// Decompilation budgets for extraction. Changing limits changes the
+    /// extraction-parameters digest, so a persistent cache built under
+    /// different limits self-invalidates.
+    pub fn limits(mut self, limits: DecompileLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Callee-expansion depth β for extraction (paper §III; the digest
+    /// binds it like [`IndexBuilder::limits`]).
+    pub fn inline_beta(mut self, beta: usize) -> Self {
+        self.inline_beta = beta;
+        self
+    }
+
+    /// Runs the offline phase.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O on a configured `.cache(path)` can fail — reading a file
+    /// that exists but cannot be read, or writing the updated cache
+    /// back. Corrupt cache *contents* degrade to a cold rebuild instead.
+    pub fn build(self, firmware: &[FirmwareImage]) -> Result<IndexBuild, IndexError> {
+        let mut cache = match self.seed_cache {
+            Some(cache) => cache,
+            None => match &self.cache_path {
+                Some(path) => match std::fs::read(path) {
+                    Ok(bytes) => match IndexCache::load(bytes.as_slice()) {
+                        Ok(cache) => cache,
+                        Err(e) => {
+                            asteria_obs::warn!(
+                                "warning: ignoring unusable index cache at {}: {e}",
+                                path.display()
+                            );
+                            IndexCache::default()
+                        }
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => IndexCache::default(),
+                    Err(e) => return Err(IndexError::Io(e)),
+                },
+                None => IndexCache::default(),
+            },
+        };
+        let (index, stats) = build_index_impl(
+            self.model,
+            firmware,
+            &mut cache,
+            self.threads,
+            self.inline_beta,
+            &self.limits,
+        );
+        if let Some(path) = &self.cache_path {
+            let mut buf = Vec::new();
+            cache.save(&mut buf)?;
+            std::fs::write(path, buf)?;
+        }
+        Ok(IndexBuild {
+            index,
+            stats,
+            cache,
+        })
+    }
+
+    /// Runs the offline phase against a caller-owned in-memory cache,
+    /// updating it in place. This path is infallible: no file I/O is
+    /// involved (`.cache(path)` is ignored here).
+    pub fn build_into(
+        &self,
+        firmware: &[FirmwareImage],
+        cache: &mut IndexCache,
+    ) -> (SearchIndex, CacheStats) {
+        build_index_impl(
+            self.model,
+            firmware,
+            cache,
+            self.threads,
+            self.inline_beta,
+            &self.limits,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+/// One online similarity query: a function (as MiniC source, the way an
+/// analyst supplies a reference build of a vulnerable library) to rank
+/// against the whole index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionQuery {
+    /// Caller-chosen label, echoed in errors (a CVE id, a request id…).
+    pub label: String,
+    /// MiniC source containing the query function.
+    pub source: String,
+    /// Name of the query function within `source`.
+    pub function: String,
+    /// Architecture to compile the reference build for.
+    pub arch: Arch,
+    /// Ranked hits to return (`0` = the full ranking).
+    pub top_k: usize,
+}
+
+impl FunctionQuery {
+    /// A query with the default [`DEFAULT_TOP_K`] cutoff.
+    pub fn new(
+        label: impl Into<String>,
+        source: impl Into<String>,
+        function: impl Into<String>,
+        arch: Arch,
+    ) -> FunctionQuery {
+        FunctionQuery {
+            label: label.into(),
+            source: source.into(),
+            function: function.into(),
+            arch,
+            top_k: DEFAULT_TOP_K,
+        }
+    }
+
+    /// A query for a CVE library entry's vulnerable source.
+    pub fn for_cve(entry: &CveEntry, arch: Arch) -> FunctionQuery {
+        FunctionQuery::new(
+            entry.id,
+            entry.vulnerable_source.clone(),
+            entry.function,
+            arch,
+        )
+    }
+
+    /// Sets the ranked-hit cutoff (`0` = full ranking).
+    pub fn top_k(mut self, k: usize) -> FunctionQuery {
+        self.top_k = k;
+        self
+    }
+
+    /// Identity of the *answer* this query produces (label excluded:
+    /// requests that differ only in label share one encode + ranking).
+    fn dedup_key(&self) -> (String, String, u8, usize) {
+        (
+            self.source.clone(),
+            self.function.clone(),
+            self.arch as u8,
+            self.top_k,
+        )
+    }
+}
+
+/// The answer to one [`FunctionQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Ranked hits, truncated to the query's `top_k` (all hits when
+    /// `top_k == 0`).
+    pub hits: Vec<SearchHit>,
+    /// Total functions ranked (the index size at query time).
+    pub total_ranked: usize,
+}
+
+// ---------------------------------------------------------------------------
+// SearchSession
+// ---------------------------------------------------------------------------
+
+/// The online phase as a long-lived object: holds the model and the
+/// index, answers queries. One `SearchSession` serves CLI one-shots,
+/// benches, and the `asteria serve` daemon through the same code path.
+///
+/// Sessions are cheap to share (`Arc<SearchSession>`) and all methods
+/// take `&self`, so a server can answer from many threads.
+#[derive(Debug)]
+pub struct SearchSession {
+    model: Arc<AsteriaModel>,
+    index: SearchIndex,
+    threads: usize,
+    inline_beta: usize,
+    limits: DecompileLimits,
+}
+
+impl SearchSession {
+    /// A session over a built index. Accepts the model by value or
+    /// already shared (`Arc<AsteriaModel>`).
+    pub fn new(model: impl Into<Arc<AsteriaModel>>, index: SearchIndex) -> SearchSession {
+        SearchSession {
+            model: model.into(),
+            index,
+            threads: 0,
+            inline_beta: DEFAULT_INLINE_BETA,
+            limits: DecompileLimits::default(),
+        }
+    }
+
+    /// Worker-thread count for query encoding and ranking (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Decompilation budgets for query-side extraction (match the
+    /// builder's for digest-consistent behavior).
+    pub fn limits(mut self, limits: DecompileLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Callee-expansion depth β for query-side extraction.
+    pub fn inline_beta(mut self, beta: usize) -> Self {
+        self.inline_beta = beta;
+        self
+    }
+
+    /// The model this session scores with.
+    pub fn model(&self) -> &AsteriaModel {
+        &self.model
+    }
+
+    /// The index this session ranks against.
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// Encodes a query function without ranking it.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`QueryError`] naming the failing stage (parse, compile,
+    /// symbol resolution, decompile).
+    pub fn encode(&self, query: &FunctionQuery) -> Result<FunctionEncoding, QueryError> {
+        encode_query_impl(
+            &self.model,
+            &query.label,
+            &query.source,
+            &query.function,
+            query.arch,
+            self.inline_beta,
+            &self.limits,
+        )
+    }
+
+    /// Encodes a CVE library entry's vulnerable source (the Table IV
+    /// query shape).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`QueryError`] naming the failing stage.
+    pub fn encode_cve(&self, entry: &CveEntry, arch: Arch) -> Result<FunctionEncoding, QueryError> {
+        self.encode(&FunctionQuery::for_cve(entry, arch))
+    }
+
+    /// Ranks the whole index against an already-encoded query. The full
+    /// ranking is returned; callers cut it as they like.
+    pub fn rank(&self, encoding: &FunctionEncoding) -> Vec<SearchHit> {
+        rank_impl(&self.model, &self.index, encoding, self.threads)
+    }
+
+    /// Answers one query: encode, rank, truncate to `top_k`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`QueryError`] when the query source fails to encode.
+    pub fn query(&self, query: &FunctionQuery) -> Result<QueryOutcome, QueryError> {
+        let encoding = self.encode(query)?;
+        let mut hits = self.rank(&encoding);
+        let total_ranked = hits.len();
+        if query.top_k > 0 {
+            hits.truncate(query.top_k);
+        }
+        Ok(QueryOutcome { hits, total_ranked })
+    }
+
+    /// Answers a batch of queries — the serving hot path.
+    ///
+    /// Identical queries (same source, function, arch, and cutoff) are
+    /// **deduplicated**: encoded and ranked once, with the outcome
+    /// replayed to every duplicate. Unique queries fan out over the
+    /// session's worker threads. Each outcome is bit-identical to what
+    /// [`SearchSession::query`] returns for that query alone — batching
+    /// is a latency/throughput optimization, never a semantic one.
+    pub fn query_batch(&self, queries: &[FunctionQuery]) -> Vec<Result<QueryOutcome, QueryError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let mut batch_span = asteria_obs::span("query-batch");
+        batch_span.set_items(queries.len() as u64);
+        // Dedup map: answer identity → index of the first query with it.
+        let mut first_of: HashMap<(String, String, u8, usize), usize> = HashMap::new();
+        let mut unique: Vec<&FunctionQuery> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(queries.len());
+        for q in queries {
+            let slot = *first_of.entry(q.dedup_key()).or_insert_with(|| {
+                unique.push(q);
+                unique.len() - 1
+            });
+            slot_of.push(slot);
+        }
+        if asteria_obs::enabled() {
+            asteria_obs::counter_add(
+                "asteria_query_batch_deduped_total",
+                &[],
+                (queries.len() - unique.len()) as u64,
+            );
+        }
+        // Each unique query is encoded and ranked independently; the
+        // inner ranking runs serially because the batch itself is the
+        // parallel axis (scoring is bit-identical at every thread count,
+        // so this choice cannot change any answer).
+        let answers: Vec<Result<QueryOutcome, QueryError>> =
+            asteria_exec::par_map_threads(self.threads, &unique, |q| {
+                let encoding = encode_query_impl(
+                    &self.model,
+                    &q.label,
+                    &q.source,
+                    &q.function,
+                    q.arch,
+                    self.inline_beta,
+                    &self.limits,
+                )?;
+                let mut hits = rank_impl(&self.model, &self.index, &encoding, 1);
+                let total_ranked = hits.len();
+                if q.top_k > 0 {
+                    hits.truncate(q.top_k);
+                }
+                Ok(QueryOutcome { hits, total_ranked })
+            });
+        slot_of
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match &answers[slot] {
+                Ok(outcome) => Ok(outcome.clone()),
+                // Errors carry the *original* query's label even when the
+                // answer was computed for a duplicate.
+                Err(e) => Err(QueryError {
+                    cve: queries[i].label.clone(),
+                    function: queries[i].function.clone(),
+                    kind: e.kind.clone(),
+                }),
+            })
+            .collect()
+    }
+
+    /// Runs the full Table IV experiment: searches every CVE against
+    /// the index, thresholds candidates, and scores them against ground
+    /// truth. Results are independent of the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in library order) [`QueryError`] if any CVE's
+    /// reference source fails to encode.
+    pub fn run(
+        &self,
+        firmware: &[FirmwareImage],
+        library: &[CveEntry],
+        threshold: f64,
+        query_arch: Arch,
+    ) -> Result<Vec<CveSearchResult>, QueryError> {
+        run_impl(
+            &self.model,
+            &self.index,
+            firmware,
+            library,
+            threshold,
+            query_arch,
+            self.threads,
+            self.inline_beta,
+            &self.limits,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared implementations (also backing the deprecated free functions)
+// ---------------------------------------------------------------------------
+
+/// The incremental offline phase. See [`IndexBuilder`] for semantics:
+/// fingerprint hits replay cached embeddings, misses run the cold
+/// pipeline over `asteria-exec` workers, stale entries are evicted, and
+/// the result is bit-identical to a cold build at every thread count
+/// and hit/miss mix.
+pub(crate) fn build_index_impl(
+    model: &AsteriaModel,
+    firmware: &[FirmwareImage],
+    cache: &mut IndexCache,
+    threads: usize,
+    inline_beta: usize,
+    limits: &DecompileLimits,
+) -> (SearchIndex, CacheStats) {
+    let mut build_span = asteria_obs::span("index-build");
+    let model_digest = model.weights_digest();
+    let params_digest = extraction_params_digest(inline_beta, limits);
+    let mut stats = CacheStats::default();
+    if cache.model_digest != model_digest || cache.params_digest != params_digest {
+        // Retraining or a budget change invalidates every embedding.
+        stats.evicted += cache.clear();
+        cache.model_digest = model_digest;
+        cache.params_digest = params_digest;
+    }
+
+    // One work unit per binary: the granularity that balances fan-out
+    // (images hold few binaries) against per-unit overhead, and the
+    // granularity the cache is keyed at (callee counts depend on sibling
+    // symbols, so a binary is the smallest self-contained unit).
+    let units: Vec<(usize, usize, &FirmwareImage)> = firmware
+        .iter()
+        .enumerate()
+        .flat_map(|(ii, img)| (0..img.binaries.len()).map(move |bi| (ii, bi, img)))
+        .collect();
+    build_span.set_items(units.len() as u64);
+    let cache_ref = &*cache;
+    let per_binary = asteria_exec::par_map_threads(threads, &units, |&(ii, bi, img)| {
+        let mut bin_span = asteria_obs::span("encode-binary");
+        let bin_timer = asteria_obs::timer();
+        let binary = &img.binaries[bi];
+        let fingerprint = fingerprint_binary(binary, params_digest, model_digest);
+        let attach_truth = |name: &str| {
+            img.planted
+                .iter()
+                .find(|p| p.binary_index == bi && p.display_name == name)
+                .map(|p| (p.cve_index, p.vulnerable))
+        };
+        if let Some(cached) = cache_ref.get(fingerprint) {
+            // Warm: replay embeddings and report; skip extraction and
+            // all Tree-LSTM encoding.
+            let functions: Vec<IndexedFunction> = cached
+                .functions
+                .iter()
+                .map(|f| IndexedFunction {
+                    image: ii,
+                    binary: bi,
+                    name: f.name.clone(),
+                    encoding: FunctionEncoding {
+                        name: f.name.clone(),
+                        vector: f.vector.clone(),
+                        callee_count: f.callee_count,
+                    },
+                    ground_truth: attach_truth(&f.name),
+                })
+                .collect();
+            bin_span.set_items(functions.len() as u64);
+            bin_timer.observe_seconds("asteria_index_binary_seconds", &[("mode", "warm")]);
+            return (functions, cached.report, fingerprint, None);
+        }
+        // Cold: the full resilient extraction + encoding pipeline.
+        let extraction = extract_binary_resilient_with(binary, inline_beta, limits);
+        let functions: Vec<IndexedFunction> = extraction
+            .successes()
+            .map(|f| IndexedFunction {
+                image: ii,
+                binary: bi,
+                name: f.name.clone(),
+                encoding: encode_function(model, f),
+                ground_truth: attach_truth(&f.name),
+            })
+            .collect();
+        let entry = CachedBinary {
+            report: extraction.report,
+            functions: functions
+                .iter()
+                .map(|f| CachedFunction {
+                    name: f.name.clone(),
+                    callee_count: f.encoding.callee_count,
+                    vector: f.encoding.vector.clone(),
+                })
+                .collect(),
+        };
+        bin_span.set_items(functions.len() as u64);
+        bin_timer.observe_seconds("asteria_index_binary_seconds", &[("mode", "cold")]);
+        (functions, extraction.report, fingerprint, Some(entry))
+    });
+
+    let mut index = SearchIndex::default();
+    let mut live = std::collections::HashSet::with_capacity(per_binary.len());
+    for (functions, report, fingerprint, new_entry) in per_binary {
+        index.extraction.absorb(&report);
+        index.functions.extend(functions);
+        live.insert(fingerprint);
+        match new_entry {
+            Some(entry) => {
+                stats.misses += 1;
+                cache.insert(fingerprint, entry);
+            }
+            None => stats.hits += 1,
+        }
+    }
+    // Anything the corpus no longer contains is stale.
+    stats.evicted += cache.retain_fingerprints(|fp| live.contains(&fp));
+    record_build_metrics(&index, &stats);
+    (index, stats)
+}
+
+/// Publishes the offline build's obs counters. Everything here is
+/// derived from the deterministically merged results — never from inside
+/// a worker — so every value is identical at any thread count.
+fn record_build_metrics(index: &SearchIndex, stats: &CacheStats) {
+    if !asteria_obs::enabled() {
+        return;
+    }
+    asteria_obs::counter_add("asteria_cache_hits_total", &[], stats.hits as u64);
+    asteria_obs::counter_add("asteria_cache_misses_total", &[], stats.misses as u64);
+    asteria_obs::counter_add("asteria_cache_evicted_total", &[], stats.evicted as u64);
+    asteria_obs::counter_add(
+        "asteria_functions_indexed_total",
+        &[],
+        index.functions.len() as u64,
+    );
+    let r = &index.extraction;
+    for (outcome, n) in [
+        ("extracted", r.extracted),
+        ("over_budget", r.over_budget),
+        ("decode_error", r.decode_errors),
+        ("empty", r.empty_functions),
+        ("other", r.other_errors),
+    ] {
+        asteria_obs::counter_add(
+            "asteria_extraction_outcomes_total",
+            &[("outcome", outcome)],
+            n as u64,
+        );
+    }
+    // Pre-register every budget kind at zero so the exposition always
+    // carries all four series, even on a corpus where none fire.
+    for kind in BudgetKind::ALL {
+        asteria_obs::counter_add(
+            "asteria_budget_exceeded_total",
+            &[("kind", kind.label())],
+            0,
+        );
+    }
+}
+
+/// Encodes one query function: parse → compile for `arch` → resolve →
+/// extract → Tree-LSTM encode, every stage surfacing a typed error.
+pub(crate) fn encode_query_impl(
+    model: &AsteriaModel,
+    label: &str,
+    source: &str,
+    function: &str,
+    arch: Arch,
+    inline_beta: usize,
+    limits: &DecompileLimits,
+) -> Result<FunctionEncoding, QueryError> {
+    let fail = |kind| QueryError {
+        cve: label.to_string(),
+        function: function.to_string(),
+        kind,
+    };
+    let program = parse(source).map_err(|e| fail(QueryErrorKind::Parse(e)))?;
+    let binary = compile_program(&program, arch).map_err(|e| fail(QueryErrorKind::Compile(e)))?;
+    let sym = binary
+        .symbol_index(function)
+        .ok_or_else(|| fail(QueryErrorKind::MissingFunction))?;
+    let f = extract_function_with(&binary, sym, inline_beta, limits)
+        .map_err(|e| fail(QueryErrorKind::Extract(e)))?;
+    Ok(encode_function(model, &f))
+}
+
+/// Descending-score ordering that is total: NaN ranks **last** (a
+/// degenerate encoding must sink to the bottom of the ranking, not panic
+/// the sort or float to the top as `total_cmp`'s `NaN > ∞` would).
+fn rank_order(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(&a),
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+/// Ranks the whole index against one query. Scoring fans out per
+/// function in index order; the final (stable) sort runs on the merged
+/// scores, so the ranking is identical at every thread count.
+pub(crate) fn rank_impl(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    query: &FunctionEncoding,
+    threads: usize,
+) -> Vec<SearchHit> {
+    let timer = asteria_obs::timer();
+    let scores = asteria_exec::par_map_chunked(threads, 0, &index.functions, |f| {
+        function_similarity(model, query, &f.encoding)
+    });
+    timer.observe_seconds("asteria_search_seconds", &[]);
+    let mut hits: Vec<SearchHit> = scores
+        .into_iter()
+        .enumerate()
+        .map(|(function, score)| SearchHit { function, score })
+        .collect();
+    hits.sort_by(|a, b| rank_order(a.score, b.score));
+    hits
+}
+
+/// The Table IV experiment over explicit components. The CVE queries
+/// encode in parallel, then each per-CVE ranking scores the index in
+/// parallel; error selection (first failing CVE in library order) and
+/// all results are independent of the thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_impl(
+    model: &AsteriaModel,
+    index: &SearchIndex,
+    firmware: &[FirmwareImage],
+    library: &[CveEntry],
+    threshold: f64,
+    query_arch: Arch,
+    threads: usize,
+    inline_beta: usize,
+    limits: &DecompileLimits,
+) -> Result<Vec<CveSearchResult>, QueryError> {
+    let mut search_span = asteria_obs::span("online-search");
+    search_span.set_items(library.len() as u64);
+    // Fan the CVE set out for query encoding, then surface the first
+    // failure in deterministic library order.
+    let queries = asteria_exec::par_map_threads(threads, library, |entry| {
+        encode_query_impl(
+            model,
+            entry.id,
+            &entry.vulnerable_source,
+            entry.function,
+            query_arch,
+            inline_beta,
+            limits,
+        )
+    });
+    let mut results = Vec::with_capacity(library.len());
+    for (cve_index, (entry, query)) in library.iter().zip(queries).enumerate() {
+        let query = query?;
+        let hits = rank_impl(model, index, &query, threads);
+        let mut candidates = 0;
+        let mut confirmed = 0;
+        let mut affected: Vec<String> = Vec::new();
+        for h in &hits {
+            // A NaN score compares as incomparable (never ≥ threshold),
+            // so it also stops the candidate scan.
+            let at_or_above = matches!(
+                h.score.partial_cmp(&threshold),
+                Some(Ordering::Greater | Ordering::Equal)
+            );
+            if !at_or_above {
+                break;
+            }
+            candidates += 1;
+            let f = &index.functions[h.function];
+            if f.ground_truth == Some((cve_index, true)) {
+                confirmed += 1;
+                let img = &firmware[f.image];
+                let label = format!("{} {}", img.vendor, img.model);
+                if !affected.contains(&label) {
+                    affected.push(label);
+                }
+            }
+        }
+        let top_hits: Vec<bool> = hits
+            .iter()
+            .take(10)
+            .map(|h| index.functions[h.function].ground_truth == Some((cve_index, true)))
+            .collect();
+        let top10_hits = top_hits.iter().filter(|h| **h).count();
+        let total_vulnerable = index
+            .functions
+            .iter()
+            .filter(|f| f.ground_truth == Some((cve_index, true)))
+            .count();
+        results.push(CveSearchResult {
+            cve: entry.id.to_string(),
+            software: entry.software.to_string(),
+            function: entry.function.to_string(),
+            candidates,
+            confirmed,
+            total_vulnerable,
+            affected_models: affected,
+            top_hits,
+            top10_hits,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::{build_firmware_corpus, FirmwareConfig};
+    use crate::library::vulnerability_library;
+    use asteria_core::ModelConfig;
+
+    fn fixture() -> (AsteriaModel, Vec<FirmwareImage>, SearchIndex) {
+        let model = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            ..Default::default()
+        });
+        let firmware = build_firmware_corpus(
+            &FirmwareConfig {
+                images: 5,
+                ..Default::default()
+            },
+            &vulnerability_library(),
+        );
+        let index = IndexBuilder::new(&model)
+            .build(&firmware)
+            .expect("in-memory build")
+            .index;
+        (model, firmware, index)
+    }
+
+    #[test]
+    fn index_covers_all_functions() {
+        let (_, firmware, index) = fixture();
+        let expected: usize = firmware.iter().map(|i| i.function_count()).sum();
+        // Some tiny functions may be filtered by the AST-size rule, but
+        // most must be present.
+        assert!(index.len() > expected / 2, "{} of {expected}", index.len());
+    }
+
+    #[test]
+    fn ground_truth_is_attached() {
+        let (_, firmware, index) = fixture();
+        let planted: usize = firmware.iter().map(|i| i.planted.len()).sum();
+        let attached = index
+            .functions
+            .iter()
+            .filter(|f| f.ground_truth.is_some())
+            .count();
+        assert_eq!(attached, planted);
+    }
+
+    #[test]
+    fn session_rank_is_sorted_descending() {
+        let (model, _, index) = fixture();
+        let lib = vulnerability_library();
+        let total = index.len();
+        let session = SearchSession::new(model, index);
+        let q = session
+            .encode_cve(&lib[0], Arch::X86)
+            .expect("query encodes");
+        let hits = session.rank(&q);
+        assert_eq!(hits.len(), total);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn session_run_produces_one_result_per_cve() {
+        let (model, firmware, index) = fixture();
+        let lib = vulnerability_library();
+        let session = SearchSession::new(model, index);
+        let results = session
+            .run(&firmware, &lib, 0.5, Arch::X86)
+            .expect("queries encode");
+        assert_eq!(results.len(), 7);
+        for r in &results {
+            assert!(r.confirmed <= r.candidates);
+            assert!(r.top_hits.len() <= 10);
+            assert_eq!(r.top10_hits, r.top_hits.iter().filter(|h| **h).count());
+        }
+    }
+
+    #[test]
+    fn session_encode_surfaces_typed_errors() {
+        let (model, _, index) = fixture();
+        let session = SearchSession::new(model, index);
+        let bad = FunctionQuery::new("CVE-0000-0000", "int nope( { broken", "nope", Arch::X86);
+        let err = session.query(&bad).expect_err("must fail");
+        assert_eq!(err.cve, "CVE-0000-0000");
+        assert!(matches!(err.kind, QueryErrorKind::Parse(_)), "{err:?}");
+        assert!(err.to_string().contains("does not parse"), "{err}");
+
+        let missing = FunctionQuery::new("q", "int other() { return 1; }", "nope", Arch::X86);
+        let err = session.query(&missing).expect_err("must fail");
+        assert!(
+            matches!(err.kind, QueryErrorKind::MissingFunction),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn session_run_surfaces_query_errors() {
+        let (model, firmware, index) = fixture();
+        let mut lib = vulnerability_library();
+        lib[2].vulnerable_source = "not even close to MiniC".into();
+        let session = SearchSession::new(model, index);
+        let err = session
+            .run(&firmware, &lib, 0.5, Arch::X86)
+            .expect_err("bad library entry must surface");
+        assert_eq!(err.cve, lib[2].id);
+    }
+
+    #[test]
+    fn index_reports_full_extraction_on_clean_corpus() {
+        let (_, firmware, index) = fixture();
+        let expected: usize = firmware.iter().map(|i| i.function_count()).sum();
+        assert_eq!(index.extraction.total, expected);
+        assert_eq!(index.extraction.skipped, 0);
+    }
+
+    #[test]
+    fn corrupted_corpus_completes_with_skips_reported() {
+        let model = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            ..Default::default()
+        });
+        let mut firmware = build_firmware_corpus(
+            &FirmwareConfig {
+                images: 3,
+                ..Default::default()
+            },
+            &vulnerability_library(),
+        );
+        // Corrupt one function per image: undecodable garbage bytes.
+        let mut corrupted = 0usize;
+        for img in &mut firmware {
+            if let Some(binary) = img.binaries.first_mut() {
+                if let Some(sym) = binary.symbols.first_mut() {
+                    sym.code = vec![0xff; 7];
+                    corrupted += 1;
+                }
+            }
+        }
+        assert!(corrupted > 0);
+        let index = IndexBuilder::new(&model)
+            .build(&firmware)
+            .expect("builds")
+            .index;
+        assert_eq!(index.extraction.skipped, corrupted);
+        assert!(index.extraction.decode_errors >= corrupted);
+        assert!(!index.is_empty());
+        // The whole search pipeline still runs end to end.
+        let lib = vulnerability_library();
+        let extraction = index.extraction;
+        let session = SearchSession::new(model, index);
+        let results = session
+            .run(&firmware, &lib, 0.5, Arch::X86)
+            .expect("queries encode");
+        assert_eq!(results.len(), lib.len());
+        let report = crate::report::render_report_with_extraction(&results, 0.5, &extraction);
+        assert!(report.contains("## Corpus coverage"));
+        assert!(report.contains(&format!("{corrupted} skipped")));
+    }
+
+    #[test]
+    fn query_batch_is_bit_identical_to_individual_queries_and_dedups() {
+        let (model, _, index) = fixture();
+        let lib = vulnerability_library();
+        let session = SearchSession::new(model, index);
+        // A batch with duplicates (same answer identity, distinct labels)
+        // and one failing query in the middle.
+        let mut batch: Vec<FunctionQuery> = lib
+            .iter()
+            .take(3)
+            .map(|e| FunctionQuery::for_cve(e, Arch::X86))
+            .collect();
+        batch.push(FunctionQuery::for_cve(&lib[0], Arch::X86));
+        let mut dup_relabel = FunctionQuery::for_cve(&lib[1], Arch::X86);
+        dup_relabel.label = "client-7".into();
+        batch.push(dup_relabel);
+        batch.push(FunctionQuery::new(
+            "bad",
+            "int broken(",
+            "broken",
+            Arch::X86,
+        ));
+
+        let batched = session.query_batch(&batch);
+        assert_eq!(batched.len(), batch.len());
+        for (q, got) in batch.iter().zip(&batched) {
+            match (session.query(q), got) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(want.total_ranked, got.total_ranked);
+                    assert_eq!(want.hits.len(), got.hits.len());
+                    for (a, b) in want.hits.iter().zip(&got.hits) {
+                        assert_eq!(a.function, b.function);
+                        assert_eq!(a.score.to_bits(), b.score.to_bits(), "{}", q.label);
+                    }
+                }
+                (Err(want), Err(got)) => {
+                    assert_eq!(want.cve, got.cve);
+                    assert_eq!(want.kind, got.kind);
+                }
+                (want, got) => panic!("outcome mismatch for {}: {want:?} vs {got:?}", q.label),
+            }
+        }
+        // The relabeled duplicate keeps its own label on success paths
+        // too — labels never leak across deduplicated answers.
+        assert!(batched[4].is_ok());
+    }
+
+    #[test]
+    fn top_k_truncation_and_full_ranking() {
+        let (model, _, index) = fixture();
+        let total = index.len();
+        let lib = vulnerability_library();
+        let session = SearchSession::new(model, index);
+        let q5 = FunctionQuery::for_cve(&lib[0], Arch::X86).top_k(5);
+        let got = session.query(&q5).expect("encodes");
+        assert_eq!(got.hits.len(), 5.min(total));
+        assert_eq!(got.total_ranked, total);
+        let all = session
+            .query(&FunctionQuery::for_cve(&lib[0], Arch::X86).top_k(0))
+            .expect("encodes");
+        assert_eq!(all.hits.len(), total);
+    }
+
+    #[test]
+    fn warm_cached_build_is_bit_identical_and_all_hits() {
+        let (model, firmware, cold_index) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        let builder = IndexBuilder::new(&model);
+        let (first, cold_stats) = builder.build_into(&firmware, &mut cache);
+        let units: usize = firmware.iter().map(|i| i.binaries.len()).sum();
+        assert_eq!(cold_stats.misses, units);
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(first, cold_index, "cached cold build == plain build");
+
+        let (second, warm_stats) = builder.build_into(&firmware, &mut cache);
+        assert_eq!(warm_stats.hits, units, "{warm_stats}");
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm_stats.evicted, 0);
+        assert_eq!(second, cold_index, "warm build must be bit-identical");
+    }
+
+    #[test]
+    fn changing_one_binary_re_encodes_only_that_binary() {
+        let (model, mut firmware, _) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        let builder = IndexBuilder::new(&model);
+        builder.build_into(&firmware, &mut cache);
+        let units: usize = firmware.iter().map(|i| i.binaries.len()).sum();
+        // Corrupt one function body: that binary's fingerprint changes.
+        firmware[0].binaries[0].symbols[0].code = vec![0xff; 7];
+        let (index, stats) = builder.build_into(&firmware, &mut cache);
+        assert_eq!(stats.misses, 1, "{stats}");
+        assert_eq!(stats.hits, units - 1);
+        assert_eq!(stats.evicted, 1, "the old entry for that binary is stale");
+        assert_eq!(index.extraction.skipped, 1);
+        // And it matches an uncached build of the modified corpus.
+        let fresh = IndexBuilder::new(&model)
+            .build(&firmware)
+            .expect("builds")
+            .index;
+        assert_eq!(index, fresh);
+    }
+
+    #[test]
+    fn changing_model_weights_invalidates_the_whole_cache() {
+        let (model, firmware, _) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        IndexBuilder::new(&model).build_into(&firmware, &mut cache);
+        let entries = cache.len();
+        assert!(entries > 0);
+        // A different seed → different weights → different digest.
+        let retrained = AsteriaModel::new(ModelConfig {
+            hidden_dim: 12,
+            embed_dim: 8,
+            seed: 0xBEEF,
+            ..Default::default()
+        });
+        let (index, stats) = IndexBuilder::new(&retrained).build_into(&firmware, &mut cache);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evicted, entries, "{stats}");
+        let fresh = IndexBuilder::new(&retrained)
+            .build(&firmware)
+            .expect("builds")
+            .index;
+        assert_eq!(index, fresh);
+        assert_eq!(cache.model_digest, retrained.weights_digest());
+    }
+
+    #[test]
+    fn shrinking_corpus_evicts_dropped_binaries() {
+        let (model, mut firmware, _) = fixture();
+        let mut cache =
+            IndexCache::for_model(&model, DEFAULT_INLINE_BETA, &DecompileLimits::default());
+        let builder = IndexBuilder::new(&model);
+        builder.build_into(&firmware, &mut cache);
+        let dropped = firmware.pop().expect("fixture has images");
+        let (_, stats) = builder.build_into(&firmware, &mut cache);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.evicted, dropped.binaries.len(), "{stats}");
+    }
+
+    #[test]
+    fn cache_path_roundtrip_and_corrupt_file_degrades_to_cold() {
+        let (model, firmware, plain) = fixture();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("asteria_session_cache_{}.asix", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Cold build against a missing file, then a warm rebuild from it.
+        let cold = IndexBuilder::new(&model)
+            .cache(&path)
+            .build(&firmware)
+            .expect("cold build");
+        assert_eq!(cold.stats.hits, 0);
+        assert_eq!(cold.index, plain, "cache path must not change the index");
+        let warm = IndexBuilder::new(&model)
+            .cache(&path)
+            .build(&firmware)
+            .expect("warm build");
+        assert_eq!(warm.stats.misses, 0, "{}", warm.stats);
+        assert_eq!(warm.index, plain);
+
+        // Corrupt contents: warn + cold rebuild, never an error.
+        std::fs::write(&path, b"definitely not ASIX").expect("overwrite");
+        let recovered = IndexBuilder::new(&model)
+            .cache(&path)
+            .build(&firmware)
+            .expect("corrupt cache degrades to cold");
+        assert_eq!(recovered.stats.hits, 0);
+        assert!(recovered.stats.misses > 0);
+        assert_eq!(recovered.index, plain);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_never_panic() {
+        let (model, _, mut index) = fixture();
+        assert!(index.len() >= 3);
+        // A degenerate encoding: every component NaN. The similarity it
+        // produces is NaN, which must sink to the bottom of the ranking.
+        let dim = index.functions[0].encoding.vector.len();
+        index.functions[1].encoding.vector = vec![f32::NAN; dim];
+        let lib = vulnerability_library();
+        let total = index.len();
+        let session = SearchSession::new(model, index);
+        let q = session
+            .encode_cve(&lib[0], Arch::X86)
+            .expect("query encodes");
+        let hits = session.rank(&q);
+        assert_eq!(hits.len(), total);
+        let last = hits.last().expect("non-empty");
+        assert!(last.score.is_nan(), "NaN must rank last: {last:?}");
+        assert_eq!(last.function, 1);
+        assert!(hits[..hits.len() - 1].iter().all(|h| !h.score.is_nan()));
+    }
+}

@@ -16,8 +16,7 @@ use asteria::corrupt::Corruptor;
 use asteria::decompiler::{decompile_function_with, DecompileLimits};
 use asteria::lang::parse;
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
-    vulnerability_library, FirmwareConfig, IndexCache,
+    build_firmware_corpus, vulnerability_library, FirmwareConfig, IndexBuilder, IndexCache,
 };
 
 /// Seeded corruptions per ISA per harness (the issue's floor is 1,000).
@@ -190,11 +189,19 @@ fn parallel_index_build_survives_corrupted_corpus() {
             }
         }
         let serial = no_panic("serial index build", Arch::Arm, seed, || {
-            build_search_index_threads(&model, &firmware, 1)
+            IndexBuilder::new(&model)
+                .threads(1)
+                .build(&firmware)
+                .expect("in-memory build cannot fail")
+                .index
         });
         for threads in [2usize, 4] {
             let parallel = no_panic("parallel index build", Arch::Arm, seed, || {
-                build_search_index_threads(&model, &firmware, threads)
+                IndexBuilder::new(&model)
+                    .threads(threads)
+                    .build(&firmware)
+                    .expect("in-memory build cannot fail")
+                    .index
             });
             assert_eq!(
                 serial.extraction, parallel.extraction,
@@ -227,7 +234,9 @@ fn index_cache_loader_survives_corrupted_files() {
         &vulnerability_library(),
     );
     let mut cache = IndexCache::default();
-    let _ = build_search_index_cached_threads(&model, &firmware, &mut cache, 2);
+    let _ = IndexBuilder::new(&model)
+        .threads(2)
+        .build_into(&firmware, &mut cache);
     assert!(!cache.is_empty(), "cold build must populate the cache");
     let mut pristine = Vec::new();
     cache.save(&mut pristine).expect("save");

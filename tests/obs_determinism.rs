@@ -11,9 +11,21 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use asteria::core::{AsteriaModel, ModelConfig};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
-    vulnerability_library, FirmwareConfig, IndexCache, SearchIndex,
+    build_firmware_corpus, vulnerability_library, FirmwareConfig, IndexBuilder, IndexCache,
+    SearchIndex,
 };
+
+fn build_threads(
+    model: &AsteriaModel,
+    firmware: &[asteria::vulnsearch::FirmwareImage],
+    threads: usize,
+) -> SearchIndex {
+    IndexBuilder::new(model)
+        .threads(threads)
+        .build(firmware)
+        .expect("in-memory build cannot fail")
+        .index
+}
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -91,7 +103,7 @@ fn counters_are_identical_at_every_thread_count() {
     let mut reference = None;
     for threads in THREAD_COUNTS {
         collector.reset();
-        let index = build_search_index_threads(&model, &firmware, threads);
+        let index = build_threads(&model, &firmware, threads);
         assert!(!index.is_empty());
         let counters = collector.snapshot().counters;
 
@@ -131,7 +143,7 @@ fn span_structure_is_identical_at_every_thread_count() {
     let mut reference = None;
     for threads in THREAD_COUNTS {
         collector.reset();
-        build_search_index_threads(&model, &firmware, threads);
+        build_threads(&model, &firmware, threads);
         // The multiset of (path, items) pairs is deterministic even
         // though start times and interleavings are not.
         let mut shape: Vec<(String, u64)> = collector
@@ -161,10 +173,10 @@ fn recording_never_perturbs_index_bits() {
     let rec = Recording::start();
 
     asteria::obs::set_enabled(false);
-    let plain = build_search_index_threads(&model, &firmware, 4);
+    let plain = build_threads(&model, &firmware, 4);
     asteria::obs::set_enabled(true);
     rec.collector().reset();
-    let traced = build_search_index_threads(&model, &firmware, 4);
+    let traced = build_threads(&model, &firmware, 4);
 
     assert_index_identical(&plain, &traced, "recorder on vs off");
 }
@@ -177,8 +189,9 @@ fn asix_cache_bytes_are_identical_warm_vs_cold_with_tracing() {
 
     // Cold build with the recorder on, then persist the cache.
     let mut cold_cache = IndexCache::default();
-    let (cold_index, cold_stats) =
-        build_search_index_cached_threads(&model, &firmware, &mut cold_cache, 4);
+    let (cold_index, cold_stats) = IndexBuilder::new(&model)
+        .threads(4)
+        .build_into(&firmware, &mut cold_cache);
     assert!(cold_stats.misses > 0);
     let mut cold_bytes = Vec::new();
     cold_cache.save(&mut cold_bytes).expect("save cold");
@@ -189,8 +202,9 @@ fn asix_cache_bytes_are_identical_warm_vs_cold_with_tracing() {
     // id may leak into the ASIX payload.
     collector.reset();
     let mut warm_cache = IndexCache::load(cold_bytes.as_slice()).expect("load");
-    let (warm_index, warm_stats) =
-        build_search_index_cached_threads(&model, &firmware, &mut warm_cache, 4);
+    let (warm_index, warm_stats) = IndexBuilder::new(&model)
+        .threads(4)
+        .build_into(&firmware, &mut warm_cache);
     assert_eq!(warm_stats.misses, 0, "warm build re-encoded a binary");
     assert_eq!(warm_stats.hits, cold_stats.misses);
     assert_index_identical(&cold_index, &warm_index, "warm vs cold");

@@ -4,12 +4,13 @@
 //! extraction reports. This is the non-negotiable invariant of the
 //! `asteria-exec` fan-out.
 
+use std::sync::Arc;
+
 use asteria::compiler::Arch;
 use asteria::core::{AsteriaModel, ModelConfig};
 use asteria::vulnsearch::{
-    build_firmware_corpus, build_search_index_cached_threads, build_search_index_threads,
-    encode_query, run_search_threads, search_threads, vulnerability_library, FirmwareConfig,
-    IndexCache, SearchIndex,
+    build_firmware_corpus, vulnerability_library, FirmwareConfig, IndexBuilder, IndexCache,
+    SearchIndex, SearchSession,
 };
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -28,6 +29,22 @@ fn fixture() -> (AsteriaModel, Vec<asteria::vulnsearch::FirmwareImage>) {
         &vulnerability_library(),
     );
     (model, firmware)
+}
+
+fn build(model: &AsteriaModel, firmware: &[asteria::vulnsearch::FirmwareImage]) -> SearchIndex {
+    build_threads(model, firmware, 1)
+}
+
+fn build_threads(
+    model: &AsteriaModel,
+    firmware: &[asteria::vulnsearch::FirmwareImage],
+    threads: usize,
+) -> SearchIndex {
+    IndexBuilder::new(model)
+        .threads(threads)
+        .build(firmware)
+        .expect("in-memory build cannot fail")
+        .index
 }
 
 /// Bit-level index equality: float vectors compared by bits, not by ≈.
@@ -58,10 +75,10 @@ fn assert_index_identical(serial: &SearchIndex, parallel: &SearchIndex, threads:
 #[test]
 fn index_build_is_identical_at_every_thread_count() {
     let (model, firmware) = fixture();
-    let serial = build_search_index_threads(&model, &firmware, 1);
+    let serial = build(&model, &firmware);
     assert!(!serial.is_empty());
     for threads in THREAD_COUNTS {
-        let parallel = build_search_index_threads(&model, &firmware, threads);
+        let parallel = build_threads(&model, &firmware, threads);
         assert_index_identical(&serial, &parallel, threads);
     }
 }
@@ -70,7 +87,9 @@ fn index_build_is_identical_at_every_thread_count() {
 fn warm_cached_build_is_identical_to_cold_at_every_thread_count() {
     let (model, firmware) = fixture();
     let mut cache = IndexCache::default();
-    let (cold, cold_stats) = build_search_index_cached_threads(&model, &firmware, &mut cache, 1);
+    let (cold, cold_stats) = IndexBuilder::new(&model)
+        .threads(1)
+        .build_into(&firmware, &mut cache);
     assert_eq!(cold_stats.hits, 0, "fresh cache cannot produce hits");
     assert!(cold_stats.misses > 0);
 
@@ -83,8 +102,9 @@ fn warm_cached_build_is_identical_to_cold_at_every_thread_count() {
 
     for threads in THREAD_COUNTS {
         let mut warm_cache = reloaded.clone();
-        let (warm, warm_stats) =
-            build_search_index_cached_threads(&model, &firmware, &mut warm_cache, threads);
+        let (warm, warm_stats) = IndexBuilder::new(&model)
+            .threads(threads)
+            .build_into(&firmware, &mut warm_cache);
         assert_eq!(
             warm_stats.misses, 0,
             "warm build re-encoded a binary at {threads} threads"
@@ -94,21 +114,24 @@ fn warm_cached_build_is_identical_to_cold_at_every_thread_count() {
         assert_index_identical(&cold, &warm, threads);
     }
 
-    // The uncached builder must agree bit-for-bit with the cached path.
-    let uncached = build_search_index_threads(&model, &firmware, 1);
+    // The plain builder must agree bit-for-bit with the cached path.
+    let uncached = build(&model, &firmware);
     assert_index_identical(&uncached, &cold, 1);
 }
 
 #[test]
 fn search_ranking_is_identical_at_every_thread_count() {
     let (model, firmware) = fixture();
-    let index = build_search_index_threads(&model, &firmware, 1);
+    let index = build(&model, &firmware);
     let library = vulnerability_library();
+    let mut session = SearchSession::new(Arc::new(model), index).threads(1);
     for entry in &library {
-        let query = encode_query(&model, entry, Arch::X86).expect("query encodes");
-        let serial = search_threads(&model, &index, &query, 1);
+        let query = session.encode_cve(entry, Arch::X86).expect("query encodes");
+        session = session.threads(1); // serial reference for this entry
+        let serial = session.rank(&query);
         for threads in THREAD_COUNTS {
-            let parallel = search_threads(&model, &index, &query, threads);
+            session = session.threads(threads);
+            let parallel = session.rank(&query);
             assert_eq!(serial.len(), parallel.len());
             for (a, b) in serial.iter().zip(&parallel) {
                 assert_eq!(a.function, b.function, "{}: order diverged", entry.id);
@@ -126,15 +149,64 @@ fn search_ranking_is_identical_at_every_thread_count() {
 #[test]
 fn run_search_results_are_identical_at_every_thread_count() {
     let (model, firmware) = fixture();
-    let index = build_search_index_threads(&model, &firmware, 1);
+    let index = build(&model, &firmware);
     let library = vulnerability_library();
-    let serial = run_search_threads(&model, &index, &firmware, &library, 0.5, Arch::X86, 1)
+    let mut session = SearchSession::new(model, index).threads(1);
+    let serial = session
+        .run(&firmware, &library, 0.5, Arch::X86)
         .expect("queries encode");
     for threads in THREAD_COUNTS {
-        let parallel =
-            run_search_threads(&model, &index, &firmware, &library, 0.5, Arch::X86, threads)
-                .expect("queries encode");
+        session = session.threads(threads);
+        let parallel = session
+            .run(&firmware, &library, 0.5, Arch::X86)
+            .expect("queries encode");
         assert_eq!(serial, parallel, "results diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn query_batch_is_identical_at_every_thread_count() {
+    // The server's batch path must hold the same invariant: a batch
+    // answered at N threads is bit-identical to the serial batch.
+    use asteria::vulnsearch::FunctionQuery;
+    let (model, firmware) = fixture();
+    let index = build(&model, &firmware);
+    let library = vulnerability_library();
+    let queries: Vec<FunctionQuery> = library
+        .iter()
+        .flat_map(|e| {
+            // Duplicates exercise the in-batch dedup without changing
+            // the expected per-query answers.
+            [
+                FunctionQuery::for_cve(e, Arch::X86),
+                FunctionQuery::for_cve(e, Arch::X86),
+            ]
+        })
+        .collect();
+    let mut session = SearchSession::new(model, index).threads(1);
+    let serial = session.query_batch(&queries);
+    for threads in THREAD_COUNTS {
+        session = session.threads(threads);
+        let parallel = session.query_batch(&queries);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.total_ranked, b.total_ranked, "query {i}");
+                    assert_eq!(a.hits.len(), b.hits.len(), "query {i}");
+                    for (ha, hb) in a.hits.iter().zip(&b.hits) {
+                        assert_eq!(ha.function, hb.function, "query {i}: order diverged");
+                        assert_eq!(
+                            ha.score.to_bits(),
+                            hb.score.to_bits(),
+                            "query {i}: score bits diverged at {threads} threads"
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "query {i}"),
+                _ => panic!("query {i}: ok/err diverged at {threads} threads"),
+            }
+        }
     }
 }
 
@@ -150,10 +222,10 @@ fn corrupted_corpus_reports_are_identical_in_parallel() {
             }
         }
     }
-    let serial = build_search_index_threads(&model, &firmware, 1);
+    let serial = build(&model, &firmware);
     assert!(serial.extraction.skipped > 0);
     for threads in THREAD_COUNTS {
-        let parallel = build_search_index_threads(&model, &firmware, threads);
+        let parallel = build_threads(&model, &firmware, threads);
         assert_index_identical(&serial, &parallel, threads);
     }
 }
